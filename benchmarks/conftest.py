@@ -1,0 +1,22 @@
+"""Benchmark harness conventions.
+
+Each file regenerates one table or figure from the paper.  The
+``benchmark`` fixture times the regeneration; the assertions pin the
+*shape* of the result to the paper's (who wins, by roughly what factor)
+-- absolute cycle counts belong to the authors' hardware, not ours.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Time one full regeneration of an experiment (no warmup repeats --
+    these are simulator-bound workloads, not microbenchmarks)."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

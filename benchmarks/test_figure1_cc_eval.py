@@ -1,0 +1,15 @@
+"""Figure 1: full vs early-out boolean evaluation on the CC machine."""
+
+from repro.experiments.figures import figure1
+
+
+def test_figure1_exact_reproduction(benchmark, once):
+    result = once(benchmark, figure1)
+    print()
+    print(result.render())
+    rows = result.rows
+    assert rows["full evaluation: static"] == 8
+    assert rows["full evaluation: avg executed"] == 7.0
+    assert rows["full evaluation: branches executed"] == 2.0
+    assert rows["early-out: static"] == 6
+    assert rows["early-out: avg executed"] == 4.25

@@ -1,0 +1,12 @@
+"""Figure 2: boolean evaluation using conditional set (M68000 style)."""
+
+from repro.experiments.figures import figure2
+
+
+def test_figure2_exact_reproduction(benchmark, once):
+    result = once(benchmark, figure2)
+    print()
+    print(result.render())
+    assert result.rows["static instructions"] == 5
+    assert result.rows["dynamic instructions"] == 5.0
+    assert result.rows["branches"] == 0.0

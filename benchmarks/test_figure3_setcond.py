@@ -1,0 +1,12 @@
+"""Figure 3: boolean evaluation using MIPS set-conditionally."""
+
+from repro.experiments.figures import figure3
+
+
+def test_figure3_exact_reproduction(benchmark, once):
+    result = once(benchmark, figure3)
+    print()
+    print(result.render())
+    assert result.rows["static instructions"] == 3
+    assert result.rows["dynamic instructions"] == 3.0
+    assert result.rows["branches"] == 0

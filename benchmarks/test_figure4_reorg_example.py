@@ -1,0 +1,20 @@
+"""Figure 4: reorganization, packing, and branch delay on the paper's fragment."""
+
+from repro.experiments.figures import figure4
+
+
+def test_figure4_transformation(benchmark, once):
+    result = once(benchmark, figure4)
+    print()
+    print(result.render())
+    rows = result.rows
+    ladder = [
+        rows["none: static words"],
+        rows["reorganize: static words"],
+        rows["pack: static words"],
+        rows["branch-delay: static words"],
+    ]
+    assert ladder == sorted(ladder, reverse=True)
+    assert ladder[-1] < ladder[0]
+    # packing really happened on the fragment
+    assert "|" in rows["reorganized listing"]

@@ -1,0 +1,14 @@
+"""Section 3.1: free memory cycles and the zero-cost DMA engine."""
+
+from repro.experiments.free_cycles import free_cycles
+
+
+def test_free_cycle_bandwidth(benchmark, once):
+    result = once(benchmark, free_cycles)
+    print()
+    print(result.render())
+    rows = result.rows
+    # substantial bandwidth is free (the paper: close to 40% wasted)
+    assert rows["free fraction (optimized/packed code)"] > 0.3
+    # and the DMA engine recovers it without stealing processor cycles
+    assert rows["DMA words moved (wordcount run)"] > 0

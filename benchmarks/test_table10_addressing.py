@@ -1,0 +1,37 @@
+"""Table 10: byte- versus word-addressed architecture cost."""
+
+from repro.analysis import PAPER_FREQUENCIES, overhead_sweep
+from repro.experiments.tables import table10
+
+
+def test_table10_paper_frequencies(benchmark, once):
+    result = once(benchmark, lambda: table10(use_measured_frequencies=False))
+    print()
+    print(result.render())
+    for allocation in ("word-allocated", "byte-allocated"):
+        low, high = result.rows[f"{allocation}: byte addressing penalty %"]
+        assert high > 3.0, "word addressing must win clearly"
+        assert high < 25.0, "and by a plausible margin"
+
+
+def test_table10_measured_frequencies(benchmark, once):
+    result = once(benchmark, lambda: table10(use_measured_frequencies=True))
+    print()
+    print(result.render())
+    for allocation in ("word-allocated", "byte-allocated"):
+        low, high = result.rows[f"{allocation}: byte addressing penalty %"]
+        assert high > 0.0
+
+
+def test_overhead_sweep_ablation(benchmark, once):
+    """Ablation: the penalty grows with the operand-path overhead and
+    word addressing already wins at the paper's low estimate."""
+    sweep = once(
+        benchmark, lambda: overhead_sweep(PAPER_FREQUENCIES["word-allocated"])
+    )
+    print()
+    for overhead, (low, high) in sorted(sweep.items()):
+        print(f"  overhead {overhead:.0%}: penalty {low:5.1f}% .. {high:5.1f}%")
+    highs = [sweep[o][1] for o in sorted(sweep)]
+    assert highs == sorted(highs)
+    assert sweep[0.15][1] > 0

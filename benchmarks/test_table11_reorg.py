@@ -1,0 +1,48 @@
+"""Table 11: cumulative improvements with postpass optimization.
+
+The paper's programs exactly: Fibonacci plus the two Puzzle variants.
+"""
+
+from repro.experiments.tables import table11
+
+
+def test_table11_postpass_optimization(benchmark, once):
+    result = once(benchmark, table11)
+    print()
+    print(result.render())
+    rows = result.rows
+    for name in ("Fibbonacci", "Puzzle 0", "Puzzle 1"):
+        ladder = [
+            rows[f"{name} / none"],
+            rows[f"{name} / reorganize"],
+            rows[f"{name} / pack"],
+            rows[f"{name} / branch-delay"],
+        ]
+        # cumulative: every level at least holds the previous one's gain
+        assert ladder == sorted(ladder, reverse=True), name
+        # and the full pipeline earns a real improvement
+        assert rows[f"{name} / total improvement %"] > 5.0, name
+
+
+def test_dynamic_speedup_accompanies_static_gain(benchmark):
+    """Beyond the paper: the reorganized code is also faster to run."""
+    from repro.compiler import compile_source
+    from repro.reorg import OptLevel
+    from repro.sim import Machine
+    from repro.workloads import puzzle_source
+
+    def measure():
+        source = puzzle_source(0, limit=15)
+        cycles = {}
+        for level in (OptLevel.NONE, OptLevel.BRANCH_DELAY):
+            compiled = compile_source(source, opt_level=level)
+            machine = Machine(compiled.program)
+            stats = machine.run(50_000_000)
+            cycles[level] = stats.cycles
+        return cycles
+
+    cycles = benchmark.pedantic(measure, iterations=1, rounds=1)
+    print()
+    print(f"  unoptimized: {cycles[OptLevel.NONE]} cycles")
+    print(f"  optimized:   {cycles[OptLevel.BRANCH_DELAY]} cycles")
+    assert cycles[OptLevel.BRANCH_DELAY] < cycles[OptLevel.NONE]

@@ -1,0 +1,13 @@
+"""Table 1: constant distribution in programs."""
+
+from repro.experiments.tables import table1
+
+
+def test_table1_constant_distribution(benchmark, once):
+    result = once(benchmark, table1)
+    print()
+    print(result.render())
+    # the paper's claims: ~70% of constants fit the 4-bit operand
+    # constant; the 8-bit move immediate catches all but ~5%
+    assert result.rows["4-bit coverage %"] > 60.0
+    assert result.rows["4+8-bit coverage %"] > 90.0

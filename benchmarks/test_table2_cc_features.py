@@ -1,0 +1,14 @@
+"""Table 2: condition code operations across architectures."""
+
+from repro.experiments.tables import table2
+
+
+def test_table2_feature_taxonomy(benchmark, once):
+    result = once(benchmark, table2)
+    print()
+    print(result.render())
+    assert result.rows["MIPS"].startswith("no condition code")
+    assert result.rows["VAX"] == "set on moves and operations; branch"
+    assert result.rows["360"] == "set on operations; branch"
+    assert result.rows["M68000"] == "set on operations; conditional set"
+    assert result.rows["PDP-10"].endswith("access")

@@ -1,0 +1,14 @@
+"""Table 3: use of condition codes -- the savings are marginal."""
+
+from repro.experiments.tables import table3
+
+
+def test_table3_compares_saved(benchmark, once):
+    result = once(benchmark, table3)
+    print()
+    print(result.render())
+    # the paper's conclusion: savings "so small as to be essentially
+    # useless" -- operators-only savings near zero, with-moves small
+    assert result.rows["saved % (operators only)"] < 5.0
+    assert result.rows["saved % (operators and moves)"] < 25.0
+    assert result.rows["compares without condition codes"] > 100

@@ -1,0 +1,14 @@
+"""Table 4: boolean expression statistics."""
+
+from repro.experiments.tables import table4
+
+
+def test_table4_boolean_expressions(benchmark, once):
+    result = once(benchmark, table4)
+    print()
+    print(result.render())
+    # jumps dominate stores, and expressions average more than one
+    # operator -- the inputs Table 6 weights by
+    assert result.rows["expressions ending in jumps %"] > 60.0
+    assert result.rows["expressions ending in stores %"] > 2.0
+    assert 1.0 <= result.rows["operators per boolean expression"] <= 3.0

@@ -1,0 +1,12 @@
+"""Table 5: operations per boolean operator -- exact reproduction."""
+
+from repro.experiments.tables import table5
+
+
+def test_table5_ops_per_operator(benchmark, once):
+    result = once(benchmark, table5)
+    print()
+    print(result.render())
+    # every cell the paper publishes is reproduced exactly
+    for key, value in result.paper.items():
+        assert result.rows[key] == value, key

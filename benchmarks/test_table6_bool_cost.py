@@ -1,0 +1,30 @@
+"""Table 6: cost of evaluating boolean expressions."""
+
+from repro.experiments.tables import table6
+
+
+def test_table6_with_paper_inputs(benchmark, once):
+    result = once(benchmark, lambda: table6(use_corpus_inputs=False))
+    print()
+    print(result.render())
+    # ordering: set-conditionally beats conditional-set beats branch-only
+    total = lambda name: result.rows[f"total {name}"][0]
+    assert (
+        total("set conditionally (no CC)")
+        < total("CC + conditional set")
+        < total("CC + branch, full evaluation")
+    )
+    # improvement magnitudes in the paper's ballpark
+    assert 25 <= result.rows["improvement conditional set / CC (full)"] <= 45
+    assert 45 <= result.rows["improvement set conditionally (full)"] <= 60
+    assert result.rows["improvement set conditionally (early-out)"] >= 25
+
+
+def test_table6_with_corpus_inputs(benchmark):
+    result = benchmark.pedantic(
+        lambda: table6(use_corpus_inputs=True), iterations=1, rounds=1
+    )
+    print()
+    print(result.render())
+    total = lambda name: result.rows[f"total {name}"][0]
+    assert total("set conditionally (no CC)") < total("CC + branch, full evaluation")

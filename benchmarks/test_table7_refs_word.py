@@ -1,0 +1,18 @@
+"""Table 7: data reference patterns, word-allocated programs."""
+
+from repro.experiments.tables import table7
+
+
+def test_table7_word_allocated_patterns(benchmark, once):
+    result = once(benchmark, table7)
+    print()
+    print(result.render())
+    rows = result.rows
+    # loads dominate stores over all data references
+    assert rows["loads_percent"] > rows["stores_percent"]
+    # word-allocated: objects allocated as full words dominate -- 8-bit
+    # refs are the packed-structure remainder
+    assert rows["loads_32bit"] > rows["loads_8bit"]
+    assert rows["loads_8bit"] < 10.0
+    # character references store much more often than data overall
+    assert rows["char_stores_percent"] > rows["stores_percent"] - 5.0

@@ -1,0 +1,27 @@
+"""Table 8: data reference patterns, byte-allocated programs."""
+
+from repro.experiments.tables import table7, table8
+
+
+def test_table8_byte_allocated_patterns(benchmark, once):
+    result = once(benchmark, table8)
+    print()
+    print(result.render())
+    rows = result.rows
+    assert rows["loads_percent"] > rows["stores_percent"]
+    # byte allocation turns the unpacked character data into byte refs
+    assert rows["loads_8bit"] > 0.5
+    assert rows["loads_32bit"] > rows["loads_8bit"]
+
+
+def test_word_allocation_is_larger_but_byte_refs_fewer(benchmark, once):
+    """The cross-table contrast: word allocation trades space for
+    word-grain references (paper: word globals ~20% larger)."""
+
+    def both():
+        return table7(), table8()
+
+    word, byte = once(benchmark, both)
+    assert word.rows["globals region (words)"] > byte.rows["globals region (words)"]
+    assert word.rows["loads_8bit"] < byte.rows["loads_8bit"]
+    assert word.rows["stores_8bit"] < byte.rows["stores_8bit"]

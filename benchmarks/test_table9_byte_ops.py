@@ -1,0 +1,11 @@
+"""Table 9: cost of byte operations -- exact reproduction."""
+
+from repro.experiments.tables import table9
+
+
+def test_table9_operation_costs(benchmark, once):
+    result = once(benchmark, table9)
+    print()
+    print(result.render())
+    for key, value in result.paper.items():
+        assert result.rows[key] == value, key

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The word-addressing study (paper section 4.1, Tables 7-10).
+
+Compiles the text-heavy corpus twice -- word-allocated and
+byte-allocated -- measures the dynamic reference mix, and prices both
+layouts on a word-addressed and a (hypothetical) byte-addressed
+machine.
+
+    python examples/byte_vs_word_study.py
+"""
+
+from repro.analysis import from_measurement, measure_layout, overhead_sweep
+from repro.compiler import LayoutStrategy
+
+
+def main() -> None:
+    print("measuring dynamic reference patterns (this runs the corpus twice)...")
+    word = measure_layout(LayoutStrategy.WORD_ALLOCATED)
+    byte = measure_layout(LayoutStrategy.BYTE_ALLOCATED)
+
+    print("\nreference mix (percent of all data references):")
+    print(f"{'':24s}{'word-allocated':>16s}{'byte-allocated':>16s}")
+    for key in ("loads_percent", "stores_percent", "loads_8bit", "loads_32bit",
+                "stores_8bit", "stores_32bit"):
+        print(f"  {key:22s}{word.rows()[key]:15.1f}%{byte.rows()[key]:15.1f}%")
+    print(f"  {'globals (words)':22s}{word.globals_words:16d}{byte.globals_words:16d}")
+    ratio = word.globals_words / byte.globals_words
+    print(f"\nword-allocated globals are {ratio:.2f}x larger "
+          "(the paper observed ~1.2x)")
+
+    print("\npricing both machines (Table 10):")
+    for label, patterns in (("word-allocated", word), ("byte-allocated", byte)):
+        costs = from_measurement(patterns)
+        word_total = costs.word_machine_total()
+        byte_total = costs.byte_machine_total()
+        low, high = costs.penalty_percent()
+        print(f"  {label:15s} word-addressed: {word_total!r:12} cycles/ref | "
+              f"byte-addressed: {byte_total!r:8} | "
+              f"byte penalty {low:.1f}%..{high:.1f}%")
+
+    print("\nsensitivity to the operand-path overhead estimate:")
+    frequencies = {
+        (kind, width): word.frequency(kind, width)
+        for kind in ("load", "store")
+        for width in ("8", "32")
+    }
+    for overhead, (low, high) in sorted(overhead_sweep(frequencies).items()):
+        bar = "#" * max(0, int(high))
+        print(f"  overhead {overhead:4.0%}: penalty {low:5.1f}%..{high:5.1f}%  {bar}")
+
+    print("\nconclusion: word addressing wins at every plausible overhead --")
+    print("the paper's 15-20% estimate makes the case decisively.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The condition-code argument (paper section 2.3, Figures 1-3).
+
+Evaluates ``Found := (Rec = Key) OR (I = 13)`` on three machines:
+
+- a CC machine with branch evaluation (full and early-out -- Figure 1),
+- a CC machine with the M68000 conditional set (Figure 2),
+- MIPS with *Set Conditionally* (Figure 3, branch-free).
+
+    python examples/condition_codes.py
+"""
+
+from repro.ccmachine import CcMachine, CcStrategy, compile_cc_source
+from repro.compiler import BooleanStrategy, CompileOptions, compile_source
+from repro.experiments.figures import figure1, figure2, figure3
+from repro.sim import Machine
+
+SOURCE = """
+program found;
+var rec, key, i: integer;
+    found: boolean;
+begin
+  read(rec); read(key); read(i);
+  found := (rec = key) or (i = 13);
+  if found then writeln(1) else writeln(0)
+end.
+"""
+
+
+def main() -> None:
+    print("the paper's exact code sequences, executed:")
+    for result in (figure1(), figure2(), figure3()):
+        print()
+        print(result.render())
+
+    print()
+    print("=" * 70)
+    print("the same source compiled by the full compilers")
+    print("=" * 70)
+    cases = [(5, 5, 13), (5, 6, 13), (5, 6, 7)]
+
+    for strategy in CcStrategy:
+        total = 0
+        for rec, key, i in cases:
+            machine = CcMachine(
+                compile_cc_source(SOURCE, strategy), inputs=[rec, key, i]
+            )
+            machine.run(100_000)
+            total += machine.stats.weighted_cost
+        print(f"  CC machine, {strategy.value:10s}: "
+              f"avg weighted cost {total / len(cases):7.1f} "
+              "(register=1, compare=2, branch=4)")
+
+    for strategy in BooleanStrategy:
+        compiled = compile_source(SOURCE, CompileOptions(boolean_strategy=strategy))
+        total = 0
+        for rec, key, i in cases:
+            machine = Machine(compiled.program, inputs=[rec, key, i])
+            stats = machine.run(100_000)
+            total += stats.cycles
+        print(f"  MIPS, {strategy.value:17s}: avg {total / len(cases):7.1f} cycles")
+
+    print("\nthe branch-free set-conditionally form wins on any pipelined")
+    print("machine: 'the cost of branches on modern pipelined architectures")
+    print("is far more than the cost of a typical compute-type instruction.'")
+
+
+if __name__ == "__main__":
+    main()

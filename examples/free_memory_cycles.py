@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Free memory cycles and zero-cost DMA (paper section 3.1).
+
+Runs a program while a DMA engine drains a block transfer using only
+the processor's *free* data-memory cycles -- the bandwidth the paper's
+status pin exports.
+
+    python examples/free_memory_cycles.py
+"""
+
+from repro.compiler import compile_source
+from repro.sim import Machine
+from repro.system import FreeCycleDma, run_with_dma
+from repro.workloads import CORPUS
+
+
+def main() -> None:
+    compiled = compile_source(CORPUS["wordcount"])
+    machine = Machine(compiled.program)
+    dma = FreeCycleDma(machine.memory)
+
+    # stage a source buffer well away from the program
+    source_base, dest_base, length = 0x100000, 0x140000, 2048
+    for i in range(length):
+        machine.memory.poke(source_base + i, (i * 2654435761) & 0xFFFFFFFF)
+    transfer = dma.enqueue(source_base, dest_base, length)
+
+    print(f"running wordcount with a {length}-word DMA transfer queued...")
+    words, moved = run_with_dma(machine, dma)
+
+    stats = machine.stats
+    print(f"\nprogram: {words} instruction words, output {machine.output}")
+    print(f"data-memory cycles used by the program: {stats.memory_cycles_used}")
+    print(f"free cycles offered on the pin:         {stats.free_memory_cycles}")
+    print(f"free fraction: {stats.free_cycle_fraction:.0%} "
+          "(the paper measured wasted bandwidth 'close to 40%')")
+    print(f"\nDMA: moved {moved}/{length} words "
+          f"({'complete' if transfer.done else 'incomplete'}) "
+          "without stealing a single processor cycle")
+
+    # verify the copy
+    mismatches = sum(
+        1
+        for i in range(min(moved, length))
+        if machine.memory.peek(dest_base + i) != machine.memory.peek(source_base + i)
+    )
+    print(f"verification: {mismatches} mismatches in the copied block")
+    assert mismatches == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro -- reproduction of Hennessy et al., *Hardware/Software Tradeoffs
+for Increased Performance* (ASPLOS 1982).
+
+The package implements, from scratch, the complete system described in the
+paper:
+
+- :mod:`repro.isa` -- the Stanford-MIPS-style instruction set (word
+  addressed, load/store, no condition codes, instruction pieces packed into
+  32-bit words).
+- :mod:`repro.asm` -- a two-pass assembler for that instruction set.
+- :mod:`repro.sim` -- a functional simulator and a five-stage pipeline
+  timing model **without hardware interlocks**.
+- :mod:`repro.reorg` -- the postpass reorganizer: dependence-DAG
+  scheduling, instruction packing, and delayed-branch optimization.
+- :mod:`repro.lang` / :mod:`repro.compiler` -- a mini-Pascal front end and
+  a compiler targeting both the MIPS model and a condition-code baseline.
+- :mod:`repro.ccmachine` -- the condition-code architecture used as the
+  paper's comparison baseline.
+- :mod:`repro.system` -- the systems layer: segmentation, paging, the
+  surprise register, exceptions, context switching, free-cycle DMA.
+- :mod:`repro.analysis`, :mod:`repro.workloads`, :mod:`repro.experiments`
+  -- the measurement machinery that regenerates every table and figure in
+  the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "isa",
+    "asm",
+    "sim",
+    "reorg",
+    "lang",
+    "compiler",
+    "ccmachine",
+    "system",
+    "analysis",
+    "workloads",
+    "experiments",
+]

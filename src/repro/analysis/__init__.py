@@ -1,0 +1,100 @@
+"""Analyses behind every table in the paper's evaluation."""
+
+from .bool_cost import (
+    EvalStrategy,
+    OpCounts,
+    PAPER_IMPROVEMENTS as PAPER_TABLE6_IMPROVEMENTS,
+    PAPER_TABLE6,
+    TABLE5,
+    Table6Row,
+    expression_cost,
+    improvements,
+    table6,
+)
+from .boolexpr import (
+    BoolExprStats,
+    PAPER_TABLE4,
+    corpus_stats,
+    count_operators,
+    program_stats,
+)
+from .bytecost import (
+    AddressingCosts,
+    PAPER_FREQUENCIES,
+    PAPER_PENALTIES,
+    from_measurement,
+    from_paper,
+    overhead_sweep,
+)
+from .cc_usage import CcUsage, PAPER_TABLE3, analyze_cc_program, corpus_cc_usage
+from .constants_dist import (
+    ConstantDistribution,
+    PAPER_TABLE1,
+    corpus_distribution,
+    distribution,
+)
+from .freecycles import (
+    FreeCycleReport,
+    PAPER_FREE_FRACTION,
+    dma_throughput,
+    measure as measure_free_cycles,
+)
+from .refpatterns import (
+    PAPER_TABLE7,
+    PAPER_TABLE8,
+    RefPatterns,
+    measure_both,
+    measure_layout,
+)
+from .static_counts import (
+    OptimizationLadder,
+    PAPER_IMPROVEMENTS as PAPER_TABLE11_IMPROVEMENTS,
+    PAPER_TABLE11,
+    measure_program,
+    table11,
+)
+
+__all__ = [
+    "AddressingCosts",
+    "BoolExprStats",
+    "CcUsage",
+    "ConstantDistribution",
+    "EvalStrategy",
+    "FreeCycleReport",
+    "OpCounts",
+    "OptimizationLadder",
+    "PAPER_FREE_FRACTION",
+    "PAPER_FREQUENCIES",
+    "PAPER_PENALTIES",
+    "PAPER_TABLE1",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE6",
+    "PAPER_TABLE6_IMPROVEMENTS",
+    "PAPER_TABLE7",
+    "PAPER_TABLE8",
+    "PAPER_TABLE11",
+    "PAPER_TABLE11_IMPROVEMENTS",
+    "RefPatterns",
+    "TABLE5",
+    "Table6Row",
+    "analyze_cc_program",
+    "corpus_cc_usage",
+    "corpus_distribution",
+    "corpus_stats",
+    "count_operators",
+    "distribution",
+    "dma_throughput",
+    "expression_cost",
+    "from_measurement",
+    "from_paper",
+    "improvements",
+    "measure_both",
+    "measure_free_cycles",
+    "measure_layout",
+    "measure_program",
+    "overhead_sweep",
+    "program_stats",
+    "table11",
+    "table6",
+]

@@ -1,0 +1,160 @@
+"""Boolean-expression statistics (Table 4).
+
+Table 4 characterizes the boolean expressions of the corpus:
+
+- the average number of operators per boolean expression;
+- the split between expressions "ending in jumps" (conditions of
+  ``if``/``while``/``repeat``) and "ending in stores" (assignments to
+  boolean variables).
+
+An expression counts as boolean when its root is a comparison or a
+boolean connective; operators counted are the connectives and the
+comparisons it contains (a bare comparison scores one operator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
+
+from ..lang import ast
+from ..lang.semantic import CheckedProgram, analyze
+from ..lang.types import BOOLEAN
+
+#: the paper's Table 4 figures
+PAPER_TABLE4 = {
+    "operators_per_expression": 1.66,
+    "jump_percent": 80.9,
+    "store_percent": 19.1,
+}
+
+_CONNECTIVES = ("and", "or")
+_RELOPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass
+class BoolExprStats:
+    """Counts over a corpus of checked programs."""
+
+    jump_expressions: int = 0
+    store_expressions: int = 0
+    total_operators: int = 0
+    #: operator counts of individual expressions (for distributions)
+    per_expression: List[int] = field(default_factory=list)
+
+    def __add__(self, other: "BoolExprStats") -> "BoolExprStats":
+        return BoolExprStats(
+            self.jump_expressions + other.jump_expressions,
+            self.store_expressions + other.store_expressions,
+            self.total_operators + other.total_operators,
+            self.per_expression + other.per_expression,
+        )
+
+    @property
+    def expressions(self) -> int:
+        return self.jump_expressions + self.store_expressions
+
+    @property
+    def operators_per_expression(self) -> float:
+        if not self.expressions:
+            return 0.0
+        return self.total_operators / self.expressions
+
+    @property
+    def jump_percent(self) -> float:
+        if not self.expressions:
+            return 0.0
+        return 100.0 * self.jump_expressions / self.expressions
+
+    @property
+    def store_percent(self) -> float:
+        if not self.expressions:
+            return 0.0
+        return 100.0 * self.store_expressions / self.expressions
+
+
+def count_operators(expr: Optional[ast.Expr]) -> int:
+    """Comparisons + connectives in an expression tree."""
+    if expr is None:
+        return 0
+    if isinstance(expr, ast.BinOp):
+        own = 1 if (expr.op in _CONNECTIVES or expr.op in _RELOPS) else 0
+        return own + count_operators(expr.left) + count_operators(expr.right)
+    if isinstance(expr, ast.UnOp):
+        return count_operators(expr.operand)
+    if isinstance(expr, ast.Index):
+        return count_operators(expr.base) + count_operators(expr.index)
+    if isinstance(expr, ast.FieldAccess):
+        return count_operators(expr.base)
+    if isinstance(expr, ast.CallExpr):
+        return sum(count_operators(arg) for arg in expr.args)
+    return 0
+
+
+def _is_boolean_root(expr: Optional[ast.Expr]) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, ast.BinOp):
+        return expr.op in _CONNECTIVES or expr.op in _RELOPS
+    if isinstance(expr, ast.UnOp):
+        return expr.op == "not"
+    return False
+
+
+class _Walker:
+    def __init__(self) -> None:
+        self.stats = BoolExprStats()
+
+    def _record(self, expr: Optional[ast.Expr], is_jump: bool) -> None:
+        if not _is_boolean_root(expr):
+            return
+        operators = count_operators(expr)
+        if is_jump:
+            self.stats.jump_expressions += 1
+        else:
+            self.stats.store_expressions += 1
+        self.stats.total_operators += operators
+        self.stats.per_expression.append(operators)
+
+    def walk(self, stmt: Optional[ast.Stmt]) -> None:
+        if stmt is None:
+            return
+        if isinstance(stmt, ast.Compound):
+            for inner in stmt.body:
+                self.walk(inner)
+        elif isinstance(stmt, ast.Assign):
+            target_type = getattr(stmt.target, "type", None)
+            if target_type == BOOLEAN:
+                self._record(stmt.value, is_jump=False)
+        elif isinstance(stmt, ast.If):
+            self._record(stmt.cond, is_jump=True)
+            self.walk(stmt.then_branch)
+            self.walk(stmt.else_branch)
+        elif isinstance(stmt, ast.While):
+            self._record(stmt.cond, is_jump=True)
+            self.walk(stmt.body)
+        elif isinstance(stmt, ast.Repeat):
+            for inner in stmt.body:
+                self.walk(inner)
+            self._record(stmt.cond, is_jump=True)
+        elif isinstance(stmt, ast.For):
+            self.walk(stmt.body)
+
+
+def program_stats(checked: CheckedProgram) -> BoolExprStats:
+    """Table 4 accounting over one checked program."""
+    walker = _Walker()
+    walker.walk(checked.ast.body)
+    for routine in checked.ast.routines:
+        walker.walk(routine.body)
+    return walker.stats
+
+
+def corpus_stats(sources: Optional[Mapping[str, str]] = None) -> BoolExprStats:
+    """Table 4 accounting over the whole corpus."""
+    from ..workloads import CORPUS
+
+    total = BoolExprStats()
+    for source in (sources or CORPUS).values():
+        total = total + program_stats(analyze(source))
+    return total

@@ -1,0 +1,94 @@
+"""Constant-distribution analysis (Table 1).
+
+"Table 1 contains the distribution of constants (in magnitudes) found
+in a collection of Pascal programs."  The compiler records every
+constant it emits as an instruction operand
+(:attr:`repro.compiler.codegen_mips.CompiledUnit.constants`); this
+module buckets them by magnitude and reports the coverage of each
+immediate mechanism: the 4-bit operand constant, the 8-bit move
+immediate, and the long immediate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..isa.immediates import TABLE1_ROWS, ConstantClass, classify_constant
+
+#: the paper's Table 1, for side-by-side reporting (percent)
+PAPER_TABLE1 = {
+    ConstantClass.ZERO: 24.8,
+    ConstantClass.ONE: 19.0,
+    ConstantClass.TWO: 4.1,
+    ConstantClass.SMALL: 20.8,
+    ConstantClass.BYTE: 26.8,
+    ConstantClass.LARGE: 4.5,
+}
+
+
+@dataclass
+class ConstantDistribution:
+    """Bucketed constant counts plus derived coverage figures."""
+
+    counts: Dict[ConstantClass, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def percent(self, bucket: ConstantClass) -> float:
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.counts.get(bucket, 0) / self.total
+
+    @property
+    def percentages(self) -> Dict[ConstantClass, float]:
+        return {bucket: self.percent(bucket) for bucket in TABLE1_ROWS}
+
+    @property
+    def imm4_coverage(self) -> float:
+        """Percent of constants the 4-bit operand constant covers.
+
+        The paper: "a 4-bit constant should cover approximately 70% of
+        the cases" (the 0, 1, 2 and 3-15 buckets).
+        """
+        return sum(
+            self.percent(bucket)
+            for bucket in (
+                ConstantClass.ZERO,
+                ConstantClass.ONE,
+                ConstantClass.TWO,
+                ConstantClass.SMALL,
+            )
+        )
+
+    @property
+    def movi_coverage(self) -> float:
+        """Percent covered by the 4-bit constant or the 8-bit movi.
+
+        The paper: "the special 8-bit constant will catch all but 5%."
+        """
+        return self.imm4_coverage + self.percent(ConstantClass.BYTE)
+
+
+def distribution(constants: Iterable[int]) -> ConstantDistribution:
+    """Bucket a collection of constants Table 1 style."""
+    counts: Counter = Counter(classify_constant(value) for value in constants)
+    return ConstantDistribution({bucket: counts.get(bucket, 0) for bucket in TABLE1_ROWS})
+
+
+def corpus_distribution(
+    sources: Optional[Mapping[str, str]] = None,
+) -> ConstantDistribution:
+    """Compile the corpus and bucket every emitted constant."""
+    from ..compiler.codegen_mips import generate
+    from ..lang.semantic import analyze
+    from ..workloads import CORPUS
+
+    constants: List[int] = []
+    for source in (sources or CORPUS).values():
+        unit = generate(analyze(source))
+        constants.extend(unit.constants)
+    return distribution(constants)

@@ -1,0 +1,147 @@
+"""Dynamic data-reference patterns (Tables 7 and 8).
+
+The corpus is compiled twice -- word-allocated and byte-allocated --
+and executed; every ``Load``/``Store`` piece carries a
+``{load,store}:{8,32}:{char,word}`` note the CPU tallies
+(:attr:`repro.sim.cpu.CpuStats.ref_notes`).  The tables report:
+
+- the load/store split over all data references;
+- 8-bit versus 32-bit loads and stores;
+- the same split restricted to *character* references (char/boolean
+  data), where the paper observes a much higher store fraction;
+- the size of the globals region under each layout (the paper: "The
+  global activation records of the word-based allocation version
+  average 20% larger").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..compiler.codegen_mips import CompileOptions
+from ..compiler.driver import compile_source
+from ..compiler.layout import LayoutStrategy
+from ..sim.machine import Machine
+
+#: the paper's Table 7 (word-allocated) percentages
+PAPER_TABLE7 = {
+    "loads_percent": 71.2,
+    "stores_percent": 28.7,
+    "loads_8bit": 2.6,
+    "loads_32bit": 68.6,
+    "stores_8bit": 2.6,
+    "stores_32bit": 26.2,
+    "char_loads_percent": 66.7,
+    "char_stores_percent": 33.3,
+    "char_loads_8bit": 14.7,
+    "char_loads_32bit": 52.0,
+    "char_stores_8bit": 21.5,
+    "char_stores_32bit": 11.8,
+}
+
+#: the paper's Table 8 (byte-allocated) percentages
+PAPER_TABLE8 = {
+    "loads_percent": 71.2,
+    "stores_percent": 28.7,
+    "loads_8bit": 6.6,
+    "loads_32bit": 64.6,
+    "stores_8bit": 5.9,
+    "stores_32bit": 22.9,
+}
+
+
+@dataclass
+class RefPatterns:
+    """Aggregated dynamic reference counts for one layout."""
+
+    counts: Counter = field(default_factory=Counter)
+    globals_words: int = 0
+
+    def add_notes(self, notes: Mapping[str, int]) -> None:
+        self.counts.update(notes)
+
+    def _get(self, kind: str, width: Optional[str] = None, char: Optional[str] = None) -> int:
+        total = 0
+        for note, count in self.counts.items():
+            k, w, c = note.split(":")
+            if k != kind:
+                continue
+            if width is not None and w != width:
+                continue
+            if char is not None and c != char:
+                continue
+            total += count
+        return total
+
+    @property
+    def total(self) -> int:
+        return self._get("load") + self._get("store")
+
+    def percent(self, kind: str, width: Optional[str] = None, char: Optional[str] = None) -> float:
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self._get(kind, width, char) / self.total
+
+    @property
+    def char_total(self) -> int:
+        return self._get("load", char="char") + self._get("store", char="char")
+
+    def char_percent(self, kind: str, width: Optional[str] = None) -> float:
+        if self.char_total == 0:
+            return 0.0
+        return 100.0 * self._get(kind, width, "char") / self.char_total
+
+    def rows(self) -> Dict[str, float]:
+        """The Table 7/8 rows, keyed like ``PAPER_TABLE7``."""
+        return {
+            "loads_percent": self.percent("load"),
+            "stores_percent": self.percent("store"),
+            "loads_8bit": self.percent("load", "8"),
+            "loads_32bit": self.percent("load", "32"),
+            "stores_8bit": self.percent("store", "8"),
+            "stores_32bit": self.percent("store", "32"),
+            "char_loads_percent": self.char_percent("load"),
+            "char_stores_percent": self.char_percent("store"),
+            "char_loads_8bit": self.char_percent("load", "8"),
+            "char_loads_32bit": self.char_percent("load", "32"),
+            "char_stores_8bit": self.char_percent("store", "8"),
+            "char_stores_32bit": self.char_percent("store", "32"),
+        }
+
+    def frequency(self, kind: str, width: str) -> float:
+        """Fraction (0..1) of all references -- Table 10's weights."""
+        if self.total == 0:
+            return 0.0
+        return self._get(kind, width) / self.total
+
+
+def measure_layout(
+    layout: LayoutStrategy,
+    sources: Optional[Mapping[str, str]] = None,
+    max_steps: int = 30_000_000,
+) -> RefPatterns:
+    """Compile and run the corpus under one layout; aggregate patterns."""
+    from ..workloads import CORPUS, QUICK_PROGRAMS
+
+    if sources is None:
+        sources = {name: CORPUS[name] for name in QUICK_PROGRAMS}
+    patterns = RefPatterns()
+    for source in sources.values():
+        compiled = compile_source(source, CompileOptions(layout=layout))
+        machine = Machine(compiled.program)
+        machine.run(max_steps)
+        patterns.add_notes(machine.stats.ref_notes)
+        patterns.globals_words += compiled.unit.globals_words
+    return patterns
+
+
+def measure_both(
+    sources: Optional[Mapping[str, str]] = None,
+) -> Tuple[RefPatterns, RefPatterns]:
+    """(word-allocated, byte-allocated) reference patterns."""
+    return (
+        measure_layout(LayoutStrategy.WORD_ALLOCATED, sources),
+        measure_layout(LayoutStrategy.BYTE_ALLOCATED, sources),
+    )

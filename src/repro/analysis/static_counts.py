@@ -1,0 +1,90 @@
+"""Postpass-optimization static counts (Table 11).
+
+"To show the effectiveness of these optimizations, we ran versions of a
+program that does reorganization, packing, and branch delay elimination
+of three input programs ... an implementation of computing Fibbonacci
+numbers and two implementations of the Puzzle benchmark ...  The data
+in Table 11 show the improvements in static instruction counts."
+
+We compile each program to its piece stream (the code generator's raw
+output, runtime library included) and run the reorganizer at each
+cumulative level, reporting the static instruction-word counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..compiler.driver import piece_stream
+from ..reorg.reorganizer import ALL_LEVELS, OptLevel, reorganize
+
+#: the paper's Table 11
+PAPER_TABLE11 = {
+    "Fibbonacci": {
+        OptLevel.NONE: 63,
+        OptLevel.REORGANIZE: 63,
+        OptLevel.PACK: 55,
+        OptLevel.BRANCH_DELAY: 50,
+    },
+    "Puzzle 0": {
+        OptLevel.NONE: 843,
+        OptLevel.REORGANIZE: 834,
+        OptLevel.PACK: 776,
+        OptLevel.BRANCH_DELAY: 634,
+    },
+    "Puzzle 1": {
+        OptLevel.NONE: 1219,
+        OptLevel.REORGANIZE: 1113,
+        OptLevel.PACK: 992,
+        OptLevel.BRANCH_DELAY: 791,
+    },
+}
+
+PAPER_IMPROVEMENTS = {"Fibbonacci": 20.6, "Puzzle 0": 24.8, "Puzzle 1": 35.1}
+
+
+@dataclass
+class OptimizationLadder:
+    """Static counts per level for one program."""
+
+    name: str
+    counts: Dict[OptLevel, int]
+
+    @property
+    def total_improvement_percent(self) -> float:
+        base = self.counts[OptLevel.NONE]
+        final = self.counts[OptLevel.BRANCH_DELAY]
+        if base == 0:
+            return 0.0
+        return 100.0 * (base - final) / base
+
+    def improvement_at(self, level: OptLevel) -> float:
+        base = self.counts[OptLevel.NONE]
+        if base == 0:
+            return 0.0
+        return 100.0 * (base - self.counts[level]) / base
+
+    def is_monotone(self) -> bool:
+        ordered = [self.counts[level] for level in ALL_LEVELS]
+        return all(a >= b for a, b in zip(ordered, ordered[1:]))
+
+
+def measure_program(name: str, source: str) -> OptimizationLadder:
+    """Run every Table 11 level over one program's piece stream."""
+    stream = piece_stream(source)
+    counts = {level: reorganize(stream, level).static_count for level in ALL_LEVELS}
+    return OptimizationLadder(name, counts)
+
+
+def table11(sources: Optional[Mapping[str, str]] = None) -> List[OptimizationLadder]:
+    """The three Table 11 programs (or any supplied set)."""
+    from ..workloads import FIB_RECURSIVE, puzzle_source
+
+    if sources is None:
+        sources = {
+            "Fibbonacci": FIB_RECURSIVE,
+            "Puzzle 0": puzzle_source(0),
+            "Puzzle 1": puzzle_source(1),
+        }
+    return [measure_program(name, source) for name, source in sources.items()]

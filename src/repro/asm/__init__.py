@@ -1,0 +1,17 @@
+"""Two-pass assembler for the MIPS instruction set."""
+
+from .assembler import assemble, assemble_pieces
+from .errors import AsmError, DuplicateSymbol, UndefinedSymbol
+from .parser import parse, parse_integer
+from .program import Program
+
+__all__ = [
+    "AsmError",
+    "DuplicateSymbol",
+    "Program",
+    "UndefinedSymbol",
+    "assemble",
+    "assemble_pieces",
+    "parse",
+    "parse_integer",
+]

@@ -1,0 +1,25 @@
+"""Assembler diagnostics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AsmError(Exception):
+    """An assembly-time error, carrying source position when known."""
+
+    def __init__(self, message: str, line: Optional[int] = None, source: Optional[str] = None):
+        self.message = message
+        self.line = line
+        self.source = source
+        location = f"line {line}: " if line is not None else ""
+        context = f"\n    {source.strip()}" if source else ""
+        super().__init__(f"{location}{message}{context}")
+
+
+class UndefinedSymbol(AsmError):
+    """A label or equate was referenced but never defined."""
+
+
+class DuplicateSymbol(AsmError):
+    """A label or equate was defined twice."""

@@ -1,0 +1,80 @@
+"""Assembled program images.
+
+A :class:`Program` is a memory image of 32-bit words -- encoded
+instructions and literal data share the single word-addressed space --
+plus the symbol table and a listing that remembers which addresses hold
+instructions (used by disassembly and by the pipeline simulator's decode
+cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.encoding import decode, encode
+from ..isa.words import InstructionWord
+
+
+@dataclass
+class Program:
+    """An assembled (or compiled) program.
+
+    Attributes:
+        memory: word address -> 32-bit value (instructions are encoded).
+        instructions: word address -> the InstructionWord placed there.
+        symbols: label -> word address (or .equ value).
+        entry: address execution should begin at.
+    """
+
+    memory: Dict[int, int] = field(default_factory=dict)
+    instructions: Dict[int, InstructionWord] = field(default_factory=dict)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+
+    def place_word(self, addr: int, word: InstructionWord) -> None:
+        """Place an instruction word at ``addr`` (encoding it into memory)."""
+        self.memory[addr] = encode(word, addr)
+        self.instructions[addr] = word
+
+    def place_data(self, addr: int, value: int) -> None:
+        self.memory[addr] = value & 0xFFFFFFFF
+
+    def fetch(self, addr: int) -> InstructionWord:
+        """Decode the instruction at ``addr`` (consulting the cache first)."""
+        if addr in self.instructions:
+            return self.instructions[addr]
+        if addr not in self.memory:
+            raise KeyError(f"no instruction at word address {addr}")
+        word = decode(self.memory[addr], addr)
+        self.instructions[addr] = word
+        return word
+
+    @property
+    def size(self) -> int:
+        """Number of occupied memory words."""
+        return len(self.memory)
+
+    @property
+    def code_size(self) -> int:
+        """Number of instruction words (the static count of Table 11)."""
+        return len(self.instructions)
+
+    def symbol(self, name: str) -> int:
+        if name not in self.symbols:
+            raise KeyError(f"undefined symbol {name!r}")
+        return self.symbols[name]
+
+    def disassemble(self, start: Optional[int] = None, count: Optional[int] = None) -> str:
+        """A human-readable listing of the instruction region."""
+        addresses = sorted(self.instructions)
+        if start is not None:
+            addresses = [a for a in addresses if a >= start]
+        if count is not None:
+            addresses = addresses[:count]
+        label_at = {addr: name for name, addr in self.symbols.items()}
+        lines: List[str] = []
+        for addr in addresses:
+            label = f"{label_at[addr]}:" if addr in label_at else ""
+            lines.append(f"{addr:6d}  {label:12s}{self.instructions[addr]!r}")
+        return "\n".join(lines)

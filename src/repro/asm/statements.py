@@ -1,0 +1,104 @@
+"""Statement forms produced by the assembly parser.
+
+A source file is a sequence of statements: label definitions, directives,
+single pieces, and explicitly packed words (``{ mem | alu }``).  Pieces at
+this level may carry *symbolic* branch targets and displacement
+expressions; the two-pass assembler resolves them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..isa.pieces import Piece
+
+
+@dataclass(frozen=True)
+class Label:
+    """``name:`` -- defines ``name`` as the current location counter."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Org:
+    """``.org N`` -- set the location counter."""
+
+    address: int
+
+
+@dataclass(frozen=True)
+class WordData:
+    """``.word v, v, ...`` -- literal data words (values or symbols)."""
+
+    values: List[Union[int, str]]
+
+
+@dataclass(frozen=True)
+class Space:
+    """``.space N`` -- reserve N zeroed words."""
+
+    count: int
+
+
+@dataclass(frozen=True)
+class Equ:
+    """``.equ name, value`` -- define an assembly-time constant."""
+
+    name: str
+    value: int
+
+
+@dataclass(frozen=True)
+class Ascii:
+    """``.ascii "text"`` -- characters packed four per word, low byte first.
+
+    On the word-addressed machine, strings are packed byte arrays
+    accessed through the byte insert/extract instructions (paper
+    section 4.1).
+    """
+
+    text: str
+
+    @property
+    def word_count(self) -> int:
+        return (len(self.text) + 3) // 4
+
+    def words(self) -> List[int]:
+        out: List[int] = []
+        data = self.text.encode("ascii")
+        for i in range(0, len(data), 4):
+            chunk = data[i : i + 4]
+            value = 0
+            for j, byte in enumerate(chunk):
+                value |= byte << (8 * j)
+            out.append(value)
+        return out
+
+
+@dataclass(frozen=True)
+class PieceStmt:
+    """A single instruction piece (one word when not packed later)."""
+
+    piece: Piece
+
+
+@dataclass(frozen=True)
+class PackedStmt:
+    """An explicitly packed word written ``{ mem-piece | alu-piece }``."""
+
+    mem: Piece
+    alu: Piece
+
+
+Statement = Union[Label, Org, WordData, Space, Equ, Ascii, PieceStmt, PackedStmt]
+
+
+@dataclass
+class SourceStatement:
+    """A parsed statement together with its source position."""
+
+    stmt: Statement
+    line: int
+    source: str

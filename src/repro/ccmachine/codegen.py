@@ -1,0 +1,636 @@
+"""Mini-Pascal code generation for the condition-code baseline machine.
+
+The same checked AST the MIPS compiler consumes, lowered to the CISC
+CC architecture.  Three boolean-evaluation strategies correspond to the
+paper's comparison (sections 2.3.1-2.3.2):
+
+``FULL_EVAL``
+    Every operand of ``and``/``or`` is evaluated and materialized with
+    conditional branches (Figure 1, left column).
+``EARLY_OUT``
+    Short-circuit evaluation (Figure 1, right column).
+``COND_SET``
+    The M68000-style conditional-set instruction materializes each
+    relation without branches (Figure 2).
+
+Simple variables appear directly as memory operands (``cmp Rec, Key``),
+as on the VAX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..lang import ast
+from ..lang.semantic import CheckedProgram, RoutineSymbol, VarSymbol
+from ..lang.types import ArrayType, RecordType, Type
+from .isa import (
+    AbsAddr,
+    Alu,
+    Br,
+    CcAluOp,
+    CcCond,
+    CcImm,
+    CcInstr,
+    CcMem,
+    CcOperand,
+    CcReg,
+    Cmp,
+    DispAddr,
+    Halt,
+    IdxAddr,
+    Jsr,
+    LabeledCcInstr,
+    Move,
+    Pop,
+    Push,
+    Rts,
+    Scc,
+    SysRead,
+    SysWrite,
+)
+from .machine import CcMachine, CcProgram, resolve
+
+
+class CcStrategy(Enum):
+    FULL_EVAL = "full"
+    EARLY_OUT = "early-out"
+    COND_SET = "cond-set"
+
+
+class CcCompileError(Exception):
+    pass
+
+
+_RELOP_TO_CC = {
+    "=": CcCond.EQ,
+    "<>": CcCond.NE,
+    "<": CcCond.LT,
+    "<=": CcCond.LE,
+    ">": CcCond.GT,
+    ">=": CcCond.GE,
+}
+
+_ARITH_TO_CC = {
+    "+": CcAluOp.ADD,
+    "-": CcAluOp.SUB,
+    "*": CcAluOp.MUL,
+    "div": CcAluOp.DIV,
+    "mod": CcAluOp.MOD,
+    "and": CcAluOp.AND,
+    "or": CcAluOp.OR,
+}
+
+# r0 is the call-result register and lives outside the pool, so that
+# restoring saved temporaries after a call can never clobber a result
+TEMP_REGS = list(range(1, 12))
+FP = CcMachine.FP
+SP = CcMachine.SP
+RESULT = CcReg(0)
+GLOBALS_BASE = 8192
+
+
+def _type_words(t: Type) -> int:
+    if t.is_scalar:
+        return 1
+    if isinstance(t, ArrayType):
+        return t.length * _type_words(t.element)
+    if isinstance(t, RecordType):
+        return sum(_type_words(ftype) for _name, ftype in t.fields) or 1
+    raise CcCompileError(f"unsized type {t!r}")
+
+
+def _field_offset(record: RecordType, name: str) -> int:
+    offset = 0
+    for fname, ftype in record.fields:
+        if fname == name:
+            return offset
+        offset += _type_words(ftype)
+    raise CcCompileError(f"no field {name!r}")
+
+
+@dataclass
+class _Place:
+    kind: str  # 'global' | 'frame' | 'byref'
+    addr: int = 0
+    fp_offset: int = 0
+    name: str = ""
+
+
+class CcCodeGenerator:
+    """Generates CC-machine code for one checked program."""
+
+    def __init__(self, program: CheckedProgram, strategy: CcStrategy = CcStrategy.EARLY_OUT):
+        self.program = program
+        self.strategy = strategy
+        self.stream: List[LabeledCcInstr] = []
+        self._pending: Optional[str] = None
+        self._labels = 0
+        self.global_addrs: Dict[str, int] = {}
+        addr = GLOBALS_BASE
+        for name, symbol in program.globals.items():
+            self.global_addrs[name] = addr
+            addr += _type_words(symbol.type)
+        self.globals_words = addr - GLOBALS_BASE
+        self.places: Dict[str, _Place] = {}
+        self.consts: Dict[str, int] = dict(program.consts)
+        self._frame_slots = 0
+        self._free_regs: List[int] = list(TEMP_REGS)
+        self._epilogue = ""
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def emit(self, instr: CcInstr) -> None:
+        self.stream.append((self._pending, instr))
+        self._pending = None
+
+    def emit_label(self, name: str) -> None:
+        if self._pending is not None:
+            self.emit(Move(CcReg(0), CcReg(0)))
+        self._pending = name
+
+    def new_label(self, hint: str = "C") -> str:
+        self._labels += 1
+        return f"{hint}{self._labels}"
+
+    def alloc(self) -> CcReg:
+        if not self._free_regs:
+            raise CcCompileError("out of CC-machine temporaries")
+        return CcReg(self._free_regs.pop(0))
+
+    def release(self, reg: CcReg) -> None:
+        if reg.number in TEMP_REGS and reg.number not in self._free_regs:
+            self._free_regs.insert(0, reg.number)
+
+    def release_operand(self, operand: CcOperand) -> None:
+        if isinstance(operand, CcReg):
+            self.release(operand)
+        elif isinstance(operand, CcMem) and isinstance(operand.addr, IdxAddr):
+            self.release(operand.addr.base)
+
+    # -- program ---------------------------------------------------------------------
+
+    def generate(self) -> CcProgram:
+        self.emit_label("start")
+        self.emit(Move(SP, FP))
+        self.places = {}
+        self._frame_slots = 0
+        self.consts = dict(self.program.consts)
+        frame_fix = len(self.stream)
+        self.emit(Alu(CcAluOp.SUB, CcImm(0), SP))
+        self.gen_stmt(self.program.ast.body)
+        self.emit(Halt())
+        label, _ = self.stream[frame_fix]
+        self.stream[frame_fix] = (label, Alu(CcAluOp.SUB, CcImm(self._frame_slots), SP))
+        for routine in self.program.routines.values():
+            self.gen_routine(routine)
+        if self._pending is not None:
+            self.emit(Move(CcReg(0), CcReg(0)))
+        return resolve(self.stream)
+
+    def gen_routine(self, symbol: RoutineSymbol) -> None:
+        routine = symbol.ast_node
+        assert routine is not None
+        self.places = {}
+        self._frame_slots = 0
+        self._free_regs = list(TEMP_REGS)
+        self._epilogue = f"{symbol.name}__ret"
+        self.consts = dict(self.program.consts)
+        self.consts.update({c.name: c.value for c in routine.consts})
+
+        for i, param in enumerate(symbol.params):
+            kind = "byref" if param.by_ref else "frame"
+            self.places[param.name] = _Place(kind, fp_offset=2 + i, name=param.name)
+        for local in symbol.locals:
+            words = _type_words(local.type)
+            first = self._frame_slots
+            self._frame_slots += words
+            self.places[local.name] = _Place(
+                "frame", fp_offset=-(first + words), name=local.name
+            )
+        if symbol.is_function:
+            slot = self._frame_slots
+            self._frame_slots += 1
+            self.places[symbol.name] = _Place(
+                "frame", fp_offset=-(slot + 1), name=symbol.name
+            )
+
+        self.emit_label(symbol.name)
+        self.emit(Push(FP))
+        self.emit(Move(SP, FP))
+        frame_fix = len(self.stream)
+        self.emit(Alu(CcAluOp.SUB, CcImm(0), SP))  # patched below
+        self.gen_stmt(routine.body)
+        label, _ = self.stream[frame_fix]
+        self.stream[frame_fix] = (label, Alu(CcAluOp.SUB, CcImm(self._frame_slots), SP))
+        self.emit_label(self._epilogue)
+        if symbol.is_function:
+            place = self.places[symbol.name]
+            self.emit(Move(CcMem(DispAddr(FP, place.fp_offset)), RESULT))
+        self.emit(Move(FP, SP))
+        self.emit(Pop(FP))
+        self.emit(Rts())
+
+    # -- locations --------------------------------------------------------------------
+
+    def _place(self, name: str) -> _Place:
+        if name in self.places:
+            return self.places[name]
+        if name in self.program.globals:
+            return _Place("global", addr=self.global_addrs[name], name=name)
+        raise CcCompileError(f"no storage for {name!r}")
+
+    def loc_operand(self, expr: ast.Expr) -> CcOperand:
+        """A memory operand for a designator (may evaluate subexpressions)."""
+        if isinstance(expr, ast.VarRef):
+            place = self._place(expr.name)
+            if place.kind == "global":
+                return CcMem(AbsAddr(place.addr, expr.name))
+            if place.kind == "frame":
+                return CcMem(DispAddr(FP, place.fp_offset))
+            # byref: the slot holds the address
+            reg = self.alloc()
+            self.emit(Move(CcMem(DispAddr(FP, place.fp_offset)), reg))
+            return CcMem(IdxAddr(reg))
+        if isinstance(expr, ast.Index):
+            assert expr.base is not None and expr.index is not None
+            array_type = expr.base.type  # type: ignore[attr-defined]
+            assert isinstance(array_type, ArrayType)
+            elem_words = _type_words(array_type.element)
+            base = self.loc_operand(expr.base)
+            index = self.gen_operand(expr.index)
+            if isinstance(index, CcImm):
+                offset = (index.value - array_type.low) * elem_words
+                return self._offset_mem(base, offset)
+            # dynamic index: address arithmetic in a register
+            addr = self.alloc()
+            self._lea(base, addr)
+            idx_reg = self._to_reg(index)
+            if array_type.low:
+                self.emit(Alu(CcAluOp.SUB, CcImm(array_type.low), idx_reg))
+            if elem_words != 1:
+                self.emit(Alu(CcAluOp.MUL, CcImm(elem_words), idx_reg))
+            self.emit(Alu(CcAluOp.ADD, idx_reg, addr))
+            self.release(idx_reg)
+            self.release_operand(base)
+            return CcMem(IdxAddr(addr))
+        if isinstance(expr, ast.FieldAccess):
+            assert expr.base is not None
+            record_type = expr.base.type  # type: ignore[attr-defined]
+            assert isinstance(record_type, RecordType)
+            base = self.loc_operand(expr.base)
+            return self._offset_mem(base, _field_offset(record_type, expr.field_name))
+        raise CcCompileError(f"not a designator: {expr!r}")
+
+    def _offset_mem(self, base: CcOperand, offset: int) -> CcOperand:
+        assert isinstance(base, CcMem)
+        addr = base.addr
+        if isinstance(addr, AbsAddr):
+            return CcMem(AbsAddr(addr.addr + offset, addr.name))
+        if isinstance(addr, DispAddr):
+            return CcMem(DispAddr(addr.base, addr.offset + offset))
+        # IdxAddr: fold the offset into the register
+        if offset:
+            self.emit(Alu(CcAluOp.ADD, CcImm(offset), addr.base))
+        return base
+
+    def _lea(self, mem: CcOperand, dst: CcReg) -> None:
+        """Load the effective word address of a memory operand."""
+        assert isinstance(mem, CcMem)
+        addr = mem.addr
+        if isinstance(addr, AbsAddr):
+            self.emit(Move(CcImm(addr.addr), dst))
+        elif isinstance(addr, DispAddr):
+            self.emit(Move(addr.base, dst))
+            if addr.offset:
+                self.emit(Alu(CcAluOp.ADD, CcImm(addr.offset), dst))
+        else:
+            self.emit(Move(addr.base, dst))
+
+    # -- expressions -----------------------------------------------------------------------
+
+    def gen_operand(self, expr: ast.Expr) -> CcOperand:
+        """An operand for the expression: immediate, memory, or register."""
+        if isinstance(expr, ast.IntLit):
+            return CcImm(expr.value)
+        if isinstance(expr, ast.CharLit):
+            return CcImm(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return CcImm(int(expr.value))
+        if isinstance(expr, ast.VarRef):
+            if getattr(expr, "implicit_call", False):
+                return self.gen_call(expr.name, [], want_result=True)
+            const = getattr(expr, "const_value", None)
+            if const is None and expr.name in self.consts:
+                const = self.consts[expr.name]
+            if const is not None:
+                return CcImm(const)
+            return self.loc_operand(expr)
+        if isinstance(expr, (ast.Index, ast.FieldAccess)):
+            return self.loc_operand(expr)
+        reg = self.gen_expr(expr)
+        return reg
+
+    def _to_reg(self, operand: CcOperand) -> CcReg:
+        if isinstance(operand, CcReg):
+            return operand
+        reg = self.alloc()
+        self.emit(Move(operand, reg))
+        self.release_operand(operand)
+        return reg
+
+    def gen_expr(self, expr: ast.Expr) -> CcReg:
+        """Evaluate an expression into a register."""
+        if isinstance(expr, ast.BinOp):
+            if expr.op in _RELOP_TO_CC or expr.op in ("and", "or"):
+                return self.gen_bool_value(expr)
+            assert expr.left is not None and expr.right is not None
+            left = self._to_reg(self.gen_operand(expr.left))
+            right = self.gen_operand(expr.right)
+            self.emit(Alu(_ARITH_TO_CC[expr.op], right, left))
+            self.release_operand(right)
+            return left
+        if isinstance(expr, ast.UnOp):
+            assert expr.operand is not None
+            if expr.op == "not":
+                return self.gen_bool_value(expr)
+            operand = self.gen_operand(expr.operand)
+            reg = self._to_reg(operand)
+            self.emit(Alu(CcAluOp.NEG, reg, reg))
+            return reg
+        if isinstance(expr, ast.CallExpr):
+            return self.gen_call(expr.name, expr.args, want_result=True)
+        operand = self.gen_operand(expr)
+        return self._to_reg(operand)
+
+    # -- boolean evaluation ----------------------------------------------------------
+
+    def gen_branch(self, expr: ast.Expr, target: str, when_true: bool) -> None:
+        """Branch to ``target`` iff expr == when_true (conditional contexts)."""
+        if isinstance(expr, ast.BoolLit):
+            if expr.value == when_true:
+                self.emit(Br(CcCond.ALWAYS, target))
+            return
+        if isinstance(expr, ast.UnOp) and expr.op == "not":
+            assert expr.operand is not None
+            self.gen_branch(expr.operand, target, not when_true)
+            return
+        if isinstance(expr, ast.BinOp) and expr.op in _RELOP_TO_CC:
+            assert expr.left is not None and expr.right is not None
+            left = self.gen_operand(expr.left)
+            right = self.gen_operand(expr.right)
+            self.emit(Cmp(left, right))
+            self.release_operand(left)
+            self.release_operand(right)
+            cond = _RELOP_TO_CC[expr.op]
+            if not when_true:
+                cond = cond.negated()
+            self.emit(Br(cond, target))
+            return
+        if (
+            isinstance(expr, ast.BinOp)
+            and expr.op in ("and", "or")
+            and self.strategy is CcStrategy.EARLY_OUT
+        ):
+            assert expr.left is not None and expr.right is not None
+            if (expr.op == "or") == when_true:
+                self.gen_branch(expr.left, target, when_true)
+                self.gen_branch(expr.right, target, when_true)
+            else:
+                skip = self.new_label("Csc")
+                self.gen_branch(expr.left, skip, not when_true)
+                self.gen_branch(expr.right, target, when_true)
+                self.emit_label(skip)
+            return
+        # general boolean value: zero-test it where it lives -- the VAX
+        # tests memory operands directly, no move needed
+        if isinstance(expr, ast.BinOp) or isinstance(expr, ast.UnOp):
+            operand: CcOperand = self.gen_bool_value(expr)
+        else:
+            operand = self.gen_operand(expr)
+        self.emit(Cmp(operand, CcImm(0)))
+        self.release_operand(operand)
+        self.emit(Br(CcCond.NE if when_true else CcCond.EQ, target))
+
+    def gen_bool_value(self, expr: ast.Expr) -> CcReg:
+        """Materialize a boolean expression as 0/1 in a register."""
+        if isinstance(expr, ast.UnOp) and expr.op == "not":
+            assert expr.operand is not None
+            reg = self.gen_bool_value(expr.operand) if isinstance(
+                expr.operand, (ast.BinOp, ast.UnOp)
+            ) else self.gen_expr(expr.operand)
+            self.emit(Alu(CcAluOp.NOT, reg, reg))
+            return reg
+        if isinstance(expr, ast.BinOp) and expr.op in _RELOP_TO_CC:
+            assert expr.left is not None and expr.right is not None
+            left = self.gen_operand(expr.left)
+            right = self.gen_operand(expr.right)
+            if self.strategy is CcStrategy.COND_SET:
+                # cmp; scc -- branch-free (Figure 2)
+                self.emit(Cmp(left, right))
+                self.release_operand(left)
+                self.release_operand(right)
+                out = self.alloc()
+                self.emit(Scc(_RELOP_TO_CC[expr.op], out))
+                return out
+            # branch materialization (Figure 1)
+            out = self.alloc()
+            done = self.new_label("Cb")
+            self.emit(Move(CcImm(1), out))
+            self.emit(Cmp(left, right))
+            self.release_operand(left)
+            self.release_operand(right)
+            self.emit(Br(_RELOP_TO_CC[expr.op], done))
+            self.emit(Move(CcImm(0), out))
+            self.emit_label(done)
+            return out
+        if isinstance(expr, ast.BinOp) and expr.op in ("and", "or"):
+            assert expr.left is not None and expr.right is not None
+            if self.strategy is CcStrategy.EARLY_OUT:
+                out = self.alloc()
+                done = self.new_label("Cb")
+                self.emit(Move(CcImm(1), out))
+                self.gen_branch(expr, done, True)
+                self.emit(Move(CcImm(0), out))
+                self.emit_label(done)
+                return out
+            # full evaluation / conditional set: evaluate both, combine
+            left = self.gen_bool_value(expr.left) if isinstance(
+                expr.left, (ast.BinOp, ast.UnOp)
+            ) else self.gen_expr(expr.left)
+            right = self.gen_bool_value(expr.right) if isinstance(
+                expr.right, (ast.BinOp, ast.UnOp)
+            ) else self.gen_expr(expr.right)
+            self.emit(Alu(CcAluOp.AND if expr.op == "and" else CcAluOp.OR, right, left))
+            self.release(right)
+            return left
+        return self.gen_expr(expr)
+
+    # -- calls -----------------------------------------------------------------------------
+
+    def gen_call(self, name: str, args: List[ast.Expr], want_result: bool) -> CcReg:
+        if name in ("ord", "chr", "abs", "odd"):
+            return self._gen_builtin(name, args)
+        routine = self.program.routines.get(name)
+        if routine is None:
+            raise CcCompileError(f"undefined routine {name!r}")
+        # caller-saves: push live temporaries around the call
+        saved = [n for n in TEMP_REGS if n not in self._free_regs]
+        for n in saved:
+            self.emit(Push(CcReg(n)))
+        for arg, param in reversed(list(zip(args, routine.params))):
+            if param.by_ref:
+                mem = self.loc_operand(arg)
+                reg = self.alloc()
+                self._lea(mem, reg)
+                self.release_operand(mem)
+                self.emit(Push(reg))
+                self.release(reg)
+            else:
+                operand = self.gen_operand(arg)
+                self.emit(Push(operand))
+                self.release_operand(operand)
+        self.emit(Jsr(name))
+        if args:
+            self.emit(Alu(CcAluOp.ADD, CcImm(len(args)), SP))
+        for n in reversed(saved):
+            self.emit(Pop(CcReg(n)))
+        out = self.alloc()
+        if want_result:
+            self.emit(Move(RESULT, out))
+        return out
+
+    def _gen_builtin(self, name: str, args: List[ast.Expr]) -> CcReg:
+        reg = self._to_reg(self.gen_operand(args[0]))
+        if name in ("ord", "chr"):
+            return reg
+        if name == "odd":
+            self.emit(Alu(CcAluOp.AND, CcImm(1), reg))
+            return reg
+        done = self.new_label("Cabs")
+        self.emit(Cmp(reg, CcImm(0)))
+        self.emit(Br(CcCond.GE, done))
+        self.emit(Alu(CcAluOp.NEG, reg, reg))
+        self.emit_label(done)
+        return reg
+
+    # -- statements ---------------------------------------------------------------------------
+
+    def gen_stmt(self, stmt: Optional[ast.Stmt]) -> None:
+        if stmt is None:
+            return
+        if isinstance(stmt, ast.Compound):
+            for inner in stmt.body:
+                self.gen_stmt(inner)
+        elif isinstance(stmt, ast.Assign):
+            assert stmt.target is not None and stmt.value is not None
+            value = self.gen_operand(stmt.value)
+            target = self.loc_operand(stmt.target)
+            self.emit(Move(value, target))
+            self.release_operand(value)
+            self.release_operand(target)
+        elif isinstance(stmt, ast.CallStmt):
+            out = self.gen_call(stmt.name, stmt.args, want_result=False)
+            self.release(out)
+        elif isinstance(stmt, ast.If):
+            assert stmt.cond is not None
+            if stmt.else_branch is None:
+                done = self.new_label("Cif")
+                self.gen_branch(stmt.cond, done, False)
+                self.gen_stmt(stmt.then_branch)
+                self.emit_label(done)
+            else:
+                otherwise = self.new_label("Celse")
+                done = self.new_label("Cif")
+                self.gen_branch(stmt.cond, otherwise, False)
+                self.gen_stmt(stmt.then_branch)
+                self.emit(Br(CcCond.ALWAYS, done))
+                self.emit_label(otherwise)
+                self.gen_stmt(stmt.else_branch)
+                self.emit_label(done)
+        elif isinstance(stmt, ast.While):
+            assert stmt.cond is not None
+            top = self.new_label("Cwh")
+            done = self.new_label("Cwe")
+            self.emit_label(top)
+            self.gen_branch(stmt.cond, done, False)
+            self.gen_stmt(stmt.body)
+            self.emit(Br(CcCond.ALWAYS, top))
+            self.emit_label(done)
+        elif isinstance(stmt, ast.Repeat):
+            top = self.new_label("Crp")
+            self.emit_label(top)
+            for inner in stmt.body:
+                self.gen_stmt(inner)
+            assert stmt.cond is not None
+            self.gen_branch(stmt.cond, top, False)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Write):
+            self._gen_write(stmt)
+        elif isinstance(stmt, ast.Read):
+            assert stmt.target is not None
+            target = self.loc_operand(stmt.target)
+            self.emit(SysRead(target))
+            self.release_operand(target)
+        else:
+            raise CcCompileError(f"unhandled statement {stmt!r}")
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        assert stmt.start is not None and stmt.stop is not None
+        var = ast.VarRef(stmt.line, stmt.var)
+        var_mem = self.loc_operand(var)
+        start = self.gen_operand(stmt.start)
+        self.emit(Move(start, var_mem))
+        self.release_operand(start)
+        stop = self.gen_operand(stmt.stop)
+        stop_keep: CcOperand = stop
+        if not isinstance(stop, CcImm):
+            slot = self._frame_slots  # a hidden frame slot below locals
+            self._frame_slots += 1
+            stop_keep = CcMem(DispAddr(FP, -(slot + 1)))
+            self.emit(Move(stop, stop_keep))
+            self.release_operand(stop)
+        top = self.new_label("Cfor")
+        done = self.new_label("Cfe")
+        self.emit_label(top)
+        self.emit(Cmp(var_mem, stop_keep))
+        self.emit(Br(CcCond.LT if stmt.downto else CcCond.GT, done))
+        self.gen_stmt(stmt.body)
+        self.emit(Alu(CcAluOp.SUB if stmt.downto else CcAluOp.ADD, CcImm(1), var_mem))
+        self.emit(Br(CcCond.ALWAYS, top))
+        self.emit_label(done)
+        self.release_operand(var_mem)
+
+    def _gen_write(self, stmt: ast.Write) -> None:
+        from ..lang.types import CHAR
+
+        for arg in stmt.args:
+            if isinstance(arg, ast.StringLit):
+                for ch in arg.value:
+                    self.emit(SysWrite(CcImm(ord(ch)), "char"))
+                continue
+            operand = self.gen_operand(arg)
+            kind = "char" if getattr(arg, "type", None) == CHAR else "int"
+            self.emit(SysWrite(operand, kind))
+            self.release_operand(operand)
+        if stmt.newline:
+            self.emit(SysWrite(CcImm(10), "char"))
+
+
+def compile_cc(
+    program: CheckedProgram, strategy: CcStrategy = CcStrategy.EARLY_OUT
+) -> CcProgram:
+    """Compile a checked program for the CC machine."""
+    generator = CcCodeGenerator(program, strategy)
+    cc_program = generator.generate()
+    cc_program.global_addrs = dict(generator.global_addrs)
+    return cc_program
+
+
+def compile_cc_source(source: str, strategy: CcStrategy = CcStrategy.EARLY_OUT) -> CcProgram:
+    from ..lang.semantic import analyze
+
+    return compile_cc(analyze(source), strategy)

@@ -1,0 +1,87 @@
+"""Architecture feature models behind Table 2.
+
+Table 2 ("Condition code operations") classifies architectures by how
+conditional control flow is materialized:
+
+- does the architecture have condition codes at all;
+- are they set on *operations* only, or on *moves* as well;
+- is the condition consumed by a *conditional set* instruction, by a
+  *branch*, or by direct *access* (PDP-10 style skip/test);
+- or, with no condition codes, does the machine use compare-and-branch.
+
+The table is reproduced by interrogating these models, and the models
+are also the configuration presets for :class:`~repro.ccmachine.machine.CcMachine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Optional
+
+from .isa import CcDiscipline
+
+
+class CcSetRule(Enum):
+    """What sets the condition code."""
+
+    NONE = "no condition code"
+    OPERATIONS = "set on operations"
+    OPERATIONS_AND_MOVES = "set on moves and operations"
+
+
+class CcUseRule(Enum):
+    """How conditions reach control flow."""
+
+    CONDITIONAL_SET = "conditional set"
+    BRANCH = "branch"
+    ACCESS = "access"
+    COMPARE_AND_BRANCH = "compare and branch"
+
+
+@dataclass(frozen=True)
+class ArchitectureModel:
+    """One architecture's condition-handling profile."""
+
+    name: str
+    set_rule: CcSetRule
+    use_rule: CcUseRule
+
+    @property
+    def has_condition_codes(self) -> bool:
+        return self.set_rule is not CcSetRule.NONE
+
+    @property
+    def has_conditional_set(self) -> bool:
+        return self.use_rule is CcUseRule.CONDITIONAL_SET
+
+    @property
+    def discipline(self) -> Optional[CcDiscipline]:
+        """The CC-machine simulator discipline matching this model."""
+        if self.set_rule is CcSetRule.OPERATIONS:
+            return CcDiscipline.OPERATIONS_ONLY
+        if self.set_rule is CcSetRule.OPERATIONS_AND_MOVES:
+            return CcDiscipline.OPERATIONS_AND_MOVES
+        return None
+
+
+#: The five architectures of Table 2.
+M68000 = ArchitectureModel("M68000", CcSetRule.OPERATIONS, CcUseRule.CONDITIONAL_SET)
+MIPS = ArchitectureModel("MIPS", CcSetRule.NONE, CcUseRule.CONDITIONAL_SET)
+VAX = ArchitectureModel("VAX", CcSetRule.OPERATIONS_AND_MOVES, CcUseRule.BRANCH)
+IBM360 = ArchitectureModel("360", CcSetRule.OPERATIONS, CcUseRule.BRANCH)
+PDP10 = ArchitectureModel("PDP-10", CcSetRule.NONE, CcUseRule.ACCESS)
+
+ALL_MODELS = (M68000, MIPS, VAX, IBM360, PDP10)
+
+
+def table2() -> Dict[str, Dict[str, str]]:
+    """Table 2 as a mapping: architecture -> its classification."""
+    out: Dict[str, Dict[str, str]] = {}
+    for model in ALL_MODELS:
+        out[model.name] = {
+            "condition code": "yes" if model.has_condition_codes else "no",
+            "set rule": model.set_rule.value,
+            "use rule": model.use_rule.value,
+        }
+    return out

@@ -1,0 +1,279 @@
+"""The condition-code baseline architecture.
+
+The paper's argument against condition codes (section 2.3) is made by
+comparison with the era's CC machines: the VAX (sets CC on operations
+*and* moves), the IBM 360 (operations only), and the M68000 (operations
+plus a conditional-set instruction ``scc``).  This module models that
+family: a two-address register/memory architecture whose instructions
+update a condition-code register as a side effect, per a configurable
+*discipline*.
+
+The machine is deliberately CISC-flavored: ``cmp Rec, Key`` may name
+memory operands directly, matching the paper's Figure 1 code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple, Union
+
+
+class CcDiscipline(Enum):
+    """Which instructions set the condition code (Table 2's columns)."""
+
+    OPERATIONS_ONLY = "operations"          # 360-like
+    OPERATIONS_AND_MOVES = "operations+moves"  # VAX-like
+
+
+class CcCond(Enum):
+    """Branch/set conditions decoded from the N/Z condition bits."""
+
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    ALWAYS = "t"
+
+    def negated(self) -> "CcCond":
+        return _NEGATED[self]
+
+
+_NEGATED = {
+    CcCond.EQ: CcCond.NE,
+    CcCond.NE: CcCond.EQ,
+    CcCond.LT: CcCond.GE,
+    CcCond.LE: CcCond.GT,
+    CcCond.GT: CcCond.LE,
+    CcCond.GE: CcCond.LT,
+    CcCond.ALWAYS: CcCond.ALWAYS,
+}
+
+
+class CcAluOp(Enum):
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"    # the CISC machine has multiply/divide in hardware
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRA = "sra"
+    NEG = "neg"    # unary: dst = -src
+    NOT = "not"    # unary (logical): dst = 1 - src for 0/1 booleans
+
+
+# -- operands -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CcReg:
+    number: int
+
+    def __repr__(self) -> str:
+        return f"r{self.number}"
+
+
+@dataclass(frozen=True)
+class CcImm:
+    value: int
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class AbsAddr:
+    addr: int
+    name: str = ""  # symbol, for listings
+
+    def __repr__(self) -> str:
+        return self.name or f"@{self.addr}"
+
+
+@dataclass(frozen=True)
+class DispAddr:
+    base: CcReg
+    offset: int
+
+    def __repr__(self) -> str:
+        return f"{self.offset}({self.base!r})"
+
+
+@dataclass(frozen=True)
+class IdxAddr:
+    base: CcReg  # holds a word address
+
+    def __repr__(self) -> str:
+        return f"({self.base!r})"
+
+
+CcAddr = Union[AbsAddr, DispAddr, IdxAddr]
+
+
+@dataclass(frozen=True)
+class CcMem:
+    addr: CcAddr
+
+    def __repr__(self) -> str:
+        return repr(self.addr)
+
+
+CcOperand = Union[CcReg, CcImm, CcMem]
+
+
+# -- instructions ------------------------------------------------------------------
+
+
+class CcInstr:
+    """Base class; classification flags drive the instruction-mix stats."""
+
+    is_move = False
+    is_alu = False
+    is_compare = False
+    is_branch = False
+    is_scc = False
+
+    def sets_cc(self, discipline: CcDiscipline) -> bool:
+        if self.is_compare or self.is_alu:
+            return True
+        if self.is_move:
+            return discipline is CcDiscipline.OPERATIONS_AND_MOVES
+        return False
+
+    def cc_source(self) -> Optional["CcOperand"]:
+        """The destination whose value determines the CC, if any."""
+        return None
+
+
+@dataclass(frozen=True)
+class Move(CcInstr):
+    """``mov src, dst`` -- register, immediate, or memory on either side."""
+
+    src: CcOperand
+    dst: CcOperand
+    is_move = True
+
+    def cc_source(self):
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"mov {self.src!r},{self.dst!r}"
+
+
+@dataclass(frozen=True)
+class Alu(CcInstr):
+    """Two-address ALU: ``dst := dst OP src`` (``NEG``/``NOT``: ``dst := OP src``)."""
+
+    op: CcAluOp
+    src: CcOperand
+    dst: CcOperand
+    is_alu = True
+
+    def cc_source(self):
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.op.value} {self.src!r},{self.dst!r}"
+
+
+@dataclass(frozen=True)
+class Cmp(CcInstr):
+    """``cmp a, b``: set the CC from ``a - b``; no other effect."""
+
+    a: CcOperand
+    b: CcOperand
+    is_compare = True
+
+    def __repr__(self) -> str:
+        return f"cmp {self.a!r},{self.b!r}"
+
+
+@dataclass(frozen=True)
+class Br(CcInstr):
+    """Conditional branch on the condition code."""
+
+    cond: CcCond
+    target: Union[str, int]
+    is_branch = True
+
+    def __repr__(self) -> str:
+        return f"b{self.cond.value} {self.target}"
+
+
+@dataclass(frozen=True)
+class Scc(CcInstr):
+    """Conditional set (M68000 ``scc``): ``dst := cond(CC) ? 1 : 0``."""
+
+    cond: CcCond
+    dst: CcOperand
+    is_scc = True
+
+    def __repr__(self) -> str:
+        return f"s{self.cond.value} {self.dst!r}"
+
+
+@dataclass(frozen=True)
+class Jsr(CcInstr):
+    """Call: push the return address, jump."""
+
+    target: Union[str, int]
+
+    def __repr__(self) -> str:
+        return f"jsr {self.target}"
+
+
+@dataclass(frozen=True)
+class Rts(CcInstr):
+    """Return: pop the return address."""
+
+    def __repr__(self) -> str:
+        return "rts"
+
+
+@dataclass(frozen=True)
+class Push(CcInstr):
+    src: CcOperand
+
+    def __repr__(self) -> str:
+        return f"push {self.src!r}"
+
+
+@dataclass(frozen=True)
+class Pop(CcInstr):
+    dst: CcOperand
+
+    def __repr__(self) -> str:
+        return f"pop {self.dst!r}"
+
+
+@dataclass(frozen=True)
+class Halt(CcInstr):
+    def __repr__(self) -> str:
+        return "halt"
+
+
+@dataclass(frozen=True)
+class SysWrite(CcInstr):
+    """Write the value of ``src`` (kind: 'int' or 'char')."""
+
+    src: CcOperand
+    kind: str = "int"
+
+    def __repr__(self) -> str:
+        return f"sys.write.{self.kind} {self.src!r}"
+
+
+@dataclass(frozen=True)
+class SysRead(CcInstr):
+    dst: CcOperand
+
+    def __repr__(self) -> str:
+        return f"sys.read {self.dst!r}"
+
+
+LabeledCcInstr = Tuple[Optional[str], CcInstr]

@@ -1,0 +1,136 @@
+"""Command-line entry points.
+
+========================  ===================================================
+``mips-asm file.s``       assemble and list a program
+``mips-sim file.s``       assemble and run (bare metal, trap I/O)
+``mips-reorg file.s``     reorganize a piece stream at every level
+``mipsc file.pas``        compile mini-Pascal and run it
+``mips-experiments``      run the paper's tables and figures
+========================  ===================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def asm_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="MIPS assembler")
+    parser.add_argument("source", help="assembly source file")
+    args = parser.parse_args(argv)
+    from .asm import assemble
+
+    with open(args.source) as handle:
+        program = assemble(handle.read())
+    print(program.disassemble())
+    print(f"; {program.code_size} instruction words, entry {program.entry}")
+    return 0
+
+
+def sim_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="MIPS simulator (bare metal)")
+    parser.add_argument("source", help="assembly source file")
+    parser.add_argument("--mode", choices=["bare", "checked", "interlocked"], default="bare")
+    parser.add_argument("--max-steps", type=int, default=5_000_000)
+    parser.add_argument("--input", type=int, action="append", default=[])
+    args = parser.parse_args(argv)
+    from .sim import HazardMode, Machine
+    from .asm import assemble
+
+    with open(args.source) as handle:
+        machine = Machine(
+            assemble(handle.read()),
+            hazard_mode=HazardMode(args.mode),
+            inputs=args.input,
+        )
+    stats = machine.run(args.max_steps)
+    for value in machine.output:
+        print(value)
+    if machine.output_text:
+        print(machine.output_text, end="")
+    print(
+        f"; {stats.words} words, {stats.cycles} cycles, "
+        f"{stats.free_cycle_fraction:.0%} free memory cycles",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def reorg_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="postpass reorganizer")
+    parser.add_argument("source", help="assembly source file (pieces + labels only)")
+    parser.add_argument(
+        "--level",
+        choices=["none", "reorganize", "pack", "branch-delay"],
+        default="branch-delay",
+    )
+    args = parser.parse_args(argv)
+    from .asm import assemble_pieces
+    from .reorg import ALL_LEVELS, OptLevel, reorganize
+
+    with open(args.source) as handle:
+        stream = assemble_pieces(handle.read())
+    for level in ALL_LEVELS:
+        result = reorganize(stream, level)
+        marker = " *" if level.value == args.level else ""
+        print(f"; {level.value}: {result.static_count} words{marker}")
+    result = reorganize(stream, OptLevel(args.level))
+    print(result.listing())
+    return 0
+
+
+def compile_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="mini-Pascal compiler + simulator")
+    parser.add_argument("source", help="mini-Pascal source file")
+    parser.add_argument("--layout", choices=["word", "byte"], default="word")
+    parser.add_argument("--no-run", action="store_true", help="only list the code")
+    parser.add_argument("--max-steps", type=int, default=30_000_000)
+    parser.add_argument("--input", type=int, action="append", default=[])
+    args = parser.parse_args(argv)
+    from .compiler import CompileOptions, LayoutStrategy, compile_source
+    from .sim import Machine
+
+    with open(args.source) as handle:
+        compiled = compile_source(
+            handle.read(), CompileOptions(layout=LayoutStrategy(args.layout))
+        )
+    if args.no_run:
+        print(compiled.reorg.listing())
+        return 0
+    machine = Machine(compiled.program, inputs=args.input)
+    stats = machine.run(args.max_steps)
+    for value in machine.output:
+        print(value)
+    if machine.output_text:
+        print(machine.output_text, end="")
+    print(
+        f"; static {compiled.static_count} words, ran {stats.words} words "
+        f"in {stats.cycles} cycles",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def experiments_main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="reproduce the paper's evaluation")
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="experiments to run (default: all); e.g. table11 figure1",
+    )
+    args = parser.parse_args(argv)
+    from .experiments import REGISTRY
+
+    names = args.names or list(REGISTRY)
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)} (have: {', '.join(REGISTRY)})")
+    for name in names:
+        print(REGISTRY[name]().render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(experiments_main())

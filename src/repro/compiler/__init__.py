@@ -1,0 +1,31 @@
+"""The mini-Pascal compiler targeting the MIPS model."""
+
+from .codegen_mips import (
+    BooleanStrategy,
+    CodeGenerator,
+    CompileError,
+    CompileOptions,
+    CompiledUnit,
+    generate,
+)
+from .driver import CompiledProgram, compile_checked, compile_source, piece_stream
+from .layout import BYTES_PER_WORD, FieldSlot, Layout, LayoutStrategy
+from .runtime import runtime_stream
+
+__all__ = [
+    "BooleanStrategy",
+    "BYTES_PER_WORD",
+    "CodeGenerator",
+    "CompileError",
+    "CompileOptions",
+    "CompiledProgram",
+    "CompiledUnit",
+    "FieldSlot",
+    "Layout",
+    "LayoutStrategy",
+    "compile_checked",
+    "compile_source",
+    "generate",
+    "piece_stream",
+    "runtime_stream",
+]

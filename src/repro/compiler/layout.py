@@ -1,0 +1,123 @@
+"""Data layout strategies: word-allocated versus byte-allocated.
+
+The paper's Tables 7 and 8 contrast two compilations of the same
+programs:
+
+- **word-allocated** (Table 7): "allocates all objects as words unless
+  they occur in a packed structure" -- only ``packed`` arrays/records
+  put characters and booleans in bytes;
+- **byte-allocated** (Table 8): "allocates all characters and booleans
+  as bytes" -- every char/boolean array element and record field is a
+  byte, packed four to a word.
+
+Scalar variables occupy a word under both strategies (even
+byte-oriented compilers word-align scalars); the contrast lives in
+aggregates, which is where the paper's character data (strings,
+buffers) resides.  The word-allocated globals are correspondingly
+larger ("The global activation records of the word-based allocation
+version average 20% larger").
+
+Byte-grain data is addressed with *byte pointers*: ``word_address * 4 +
+byte_offset``, dereferenced with the base-shifted load and the
+extract/insert byte instructions (paper section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from ..lang.types import ArrayType, RecordType, Type
+
+BYTES_PER_WORD = 4
+
+
+class LayoutStrategy(Enum):
+    WORD_ALLOCATED = "word"
+    BYTE_ALLOCATED = "byte"
+
+
+@dataclass(frozen=True)
+class FieldSlot:
+    """Where a record field lives relative to the record's word base."""
+
+    word_offset: int
+    byte_offset: int  # 0 for word-grain fields
+    byte_grain: bool
+
+
+class Layout:
+    """Size and offset computation under one strategy."""
+
+    def __init__(self, strategy: LayoutStrategy = LayoutStrategy.WORD_ALLOCATED):
+        self.strategy = strategy
+        self._record_cache: Dict[RecordType, Tuple[int, Dict[str, FieldSlot]]] = {}
+
+    # -- grain decisions -----------------------------------------------------
+
+    def element_byte_grain(self, array: ArrayType) -> bool:
+        """Do this array's elements live in bytes?"""
+        if not array.element.is_byte_natured:
+            return False
+        if array.packed:
+            return True
+        return self.strategy is LayoutStrategy.BYTE_ALLOCATED
+
+    def field_byte_grain(self, record: RecordType, field_type: Type) -> bool:
+        if not field_type.is_byte_natured:
+            return False
+        if record.packed:
+            return True
+        return self.strategy is LayoutStrategy.BYTE_ALLOCATED
+
+    # -- sizes ------------------------------------------------------------------
+
+    def type_words(self, t: Type) -> int:
+        """Storage size in words."""
+        if t.is_scalar:
+            return 1
+        if isinstance(t, ArrayType):
+            if self.element_byte_grain(t):
+                return (t.length + BYTES_PER_WORD - 1) // BYTES_PER_WORD
+            return t.length * self.type_words(t.element)
+        if isinstance(t, RecordType):
+            return self.record_layout(t)[0]
+        raise ValueError(f"unsized type {t!r}")
+
+    def element_words(self, array: ArrayType) -> int:
+        """Words per element (word-grain arrays only)."""
+        if self.element_byte_grain(array):
+            raise ValueError("byte-grain arrays are indexed by byte")
+        return self.type_words(array.element)
+
+    # -- records --------------------------------------------------------------------
+
+    def record_layout(self, record: RecordType) -> Tuple[int, Dict[str, FieldSlot]]:
+        """(size in words, field name -> slot)."""
+        if record in self._record_cache:
+            return self._record_cache[record]
+        slots: Dict[str, FieldSlot] = {}
+        word_offset = 0
+        byte_fields: List[Tuple[str, Type]] = []
+        for name, ftype in record.fields:
+            if self.field_byte_grain(record, ftype):
+                byte_fields.append((name, ftype))
+            else:
+                slots[name] = FieldSlot(word_offset, 0, False)
+                word_offset += self.type_words(ftype)
+        for i, (name, _ftype) in enumerate(byte_fields):
+            slots[name] = FieldSlot(
+                word_offset + i // BYTES_PER_WORD, i % BYTES_PER_WORD, True
+            )
+        if byte_fields:
+            word_offset += (len(byte_fields) + BYTES_PER_WORD - 1) // BYTES_PER_WORD
+        size = max(word_offset, 1)
+        self._record_cache[record] = (size, slots)
+        return size, slots
+
+    def field_slot(self, record: RecordType, name: str) -> FieldSlot:
+        slot = self.record_layout(record)[1].get(name)
+        if slot is None:
+            raise KeyError(f"record has no field {name!r}")
+        return slot

@@ -1,0 +1,68 @@
+"""Reproductions of every table and figure in the paper's evaluation."""
+
+from typing import Callable, Dict, List
+
+from .base import ExperimentResult
+from .figures import figure1, figure2, figure3, figure4
+from .free_cycles import free_cycles
+from .tables import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table10,
+    table11,
+)
+
+#: every experiment, in paper order
+REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table6": table6,
+    "table7": table7,
+    "table8": table8,
+    "table9": table9,
+    "table10": table10,
+    "table11": table11,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "free_cycles": free_cycles,
+}
+
+
+def run_all() -> List[ExperimentResult]:
+    """Run every experiment (tables first, then figures)."""
+    return [build() for build in REGISTRY.values()]
+
+
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "free_cycles",
+    "run_all",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+]

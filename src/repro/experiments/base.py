@@ -1,0 +1,45 @@
+"""Experiment result plumbing shared by all table/figure reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure.
+
+    ``rows`` maps row labels to measured values; ``paper`` carries the
+    corresponding published values where the paper gives them, so
+    reports and EXPERIMENTS.md can show paper-vs-measured side by side.
+    """
+
+    experiment_id: str
+    title: str
+    rows: Dict[str, Any]
+    paper: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """A plain-text report with paper values alongside."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        width = max((len(str(k)) for k in self.rows), default=10) + 2
+        for key, value in self.rows.items():
+            paper_value = self.paper.get(key)
+            paper_text = f"   [paper: {_fmt(paper_value)}]" if paper_value is not None else ""
+            lines.append(f"  {str(key):{width}s} {_fmt(value)}{paper_text}")
+        for key, value in self.paper.items():
+            if key not in self.rows:
+                lines.append(f"  {str(key):{width}s} (not measured)   [paper: {_fmt(value)}]")
+        if self.notes:
+            lines.append(f"  -- {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_fmt(v) for v in value) + ")"
+    return str(value)

@@ -1,0 +1,281 @@
+"""Reproductions of Tables 1-11.
+
+Each ``tableN()`` function compiles/runs whatever it needs and returns
+an :class:`~repro.experiments.base.ExperimentResult` holding measured
+rows next to the paper's published values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis import (
+    PAPER_FREQUENCIES,
+    PAPER_PENALTIES,
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE6,
+    PAPER_TABLE6_IMPROVEMENTS,
+    PAPER_TABLE7,
+    PAPER_TABLE8,
+    PAPER_TABLE11,
+    PAPER_TABLE11_IMPROVEMENTS,
+    TABLE5,
+    EvalStrategy,
+    corpus_cc_usage,
+    corpus_distribution,
+    corpus_stats,
+    from_measurement,
+    from_paper,
+    improvements,
+    measure_layout,
+    table6 as compute_table6,
+    table11 as compute_table11,
+)
+from ..ccmachine.features import table2 as cc_table2
+from ..compiler.layout import LayoutStrategy
+from ..isa.costs import table9 as isa_table9
+from .base import ExperimentResult
+
+
+def table1() -> ExperimentResult:
+    """Constant distribution in programs."""
+    dist = corpus_distribution()
+    rows: Dict[str, object] = {
+        bucket.value: round(percent, 1) for bucket, percent in dist.percentages.items()
+    }
+    rows["4-bit coverage %"] = round(dist.imm4_coverage, 1)
+    rows["4+8-bit coverage %"] = round(dist.movi_coverage, 1)
+    paper = {bucket.value: value for bucket, value in PAPER_TABLE1.items()}
+    paper["4-bit coverage %"] = 68.7
+    paper["4+8-bit coverage %"] = 95.5
+    return ExperimentResult(
+        "Table 1",
+        "Constant distribution in programs (percent by magnitude)",
+        rows,
+        paper,
+        notes="the 4-bit operand constant should cover ~70%, movi all but ~5%",
+    )
+
+
+def table2() -> ExperimentResult:
+    """Condition code operations across architectures."""
+    rows = {
+        name: f"{info['set rule']}; {info['use rule']}"
+        for name, info in cc_table2().items()
+    }
+    paper = {
+        "M68000": "set on operations; conditional set",
+        "MIPS": "no condition code; conditional set (compare and branch)",
+        "VAX": "set on moves and operations; branch",
+        "360": "set on operations; branch",
+        "PDP-10": "no condition code; access",
+    }
+    return ExperimentResult(
+        "Table 2", "Condition code operations", rows, paper
+    )
+
+
+def table3() -> ExperimentResult:
+    """Use of condition codes: compares saved."""
+    usage = corpus_cc_usage()
+    rows = {
+        "compares without condition codes": usage.compares,
+        "compares saved (operators only)": usage.saved_by_operators,
+        "saved % (operators only)": round(usage.saved_operators_percent, 1),
+        "moves used only to set CC": usage.moves_only_to_set_cc,
+        "compares saved (operators and moves)": usage.saved_by_operators
+        + usage.saved_by_moves,
+        "saved % (operators and moves)": round(usage.saved_with_moves_percent, 1),
+    }
+    paper = {
+        "compares saved (operators only)": PAPER_TABLE3["saved_by_operators"],
+        "saved % (operators only)": PAPER_TABLE3["saved_by_operators_percent"],
+        "moves used only to set CC": PAPER_TABLE3["moves_only_to_set_cc"],
+        "saved % (operators and moves)": PAPER_TABLE3["saved_with_moves_percent"],
+    }
+    return ExperimentResult(
+        "Table 3",
+        "Use of condition codes (savings are marginal)",
+        rows,
+        paper,
+        notes="the paper's claim: CC savings are 'so small as to be essentially useless'",
+    )
+
+
+def table4() -> ExperimentResult:
+    """Boolean expression statistics."""
+    stats = corpus_stats()
+    rows = {
+        "operators per boolean expression": round(stats.operators_per_expression, 2),
+        "expressions ending in jumps %": round(stats.jump_percent, 1),
+        "expressions ending in stores %": round(stats.store_percent, 1),
+        "total boolean expressions": stats.expressions,
+    }
+    paper = {
+        "operators per boolean expression": PAPER_TABLE4["operators_per_expression"],
+        "expressions ending in jumps %": PAPER_TABLE4["jump_percent"],
+        "expressions ending in stores %": PAPER_TABLE4["store_percent"],
+    }
+    return ExperimentResult("Table 4", "Boolean expressions", rows, paper)
+
+
+def table5() -> ExperimentResult:
+    """Operations per boolean operator under four strategies."""
+    rows = {}
+    for strategy, (static, dynamic) in TABLE5.items():
+        rows[f"{strategy.value} (static c/r/b)"] = static.as_tuple()
+        rows[f"{strategy.value} (dynamic c/r/b)"] = dynamic.as_tuple()
+    paper = {
+        f"{EvalStrategy.SET_CONDITIONALLY.value} (static c/r/b)": (2, 1, 0),
+        f"{EvalStrategy.CC_CONDITIONAL_SET.value} (static c/r/b)": (2, 3, 0),
+        f"{EvalStrategy.CC_BRANCH_FULL.value} (static c/r/b)": (2, 2, 2),
+        f"{EvalStrategy.CC_BRANCH_EARLY_OUT.value} (static c/r/b)": (2, 0, 2),
+        f"{EvalStrategy.CC_BRANCH_EARLY_OUT.value} (dynamic c/r/b)": (2, 0, 1.5),
+    }
+    return ExperimentResult(
+        "Table 5",
+        "Compare/register/branch operations per boolean operator",
+        rows,
+        paper,
+    )
+
+
+def table6(use_corpus_inputs: bool = False) -> ExperimentResult:
+    """Cost of evaluating boolean expressions."""
+    if use_corpus_inputs:
+        stats = corpus_stats()
+        ops = stats.operators_per_expression
+        jump_fraction = stats.jump_percent / 100.0
+        source = f"corpus inputs (ops={ops:.2f}, jump={jump_fraction:.2f})"
+    else:
+        ops, jump_fraction = 1.66, 0.809
+        source = "paper inputs (ops=1.66, jump=0.809)"
+    computed = compute_table6(ops, jump_fraction)
+    rows: Dict[str, object] = {}
+    for strategy, row in computed.items():
+        rows[f"store {strategy.value}"] = (round(row.store_full, 1), round(row.store_early, 1))
+        rows[f"jump {strategy.value}"] = (round(row.jump_full, 1), round(row.jump_early, 1))
+        rows[f"total {strategy.value}"] = (round(row.total_full, 1), round(row.total_early, 1))
+    for pair, value in improvements(ops, jump_fraction).items():
+        rows[f"improvement {pair[0]} ({pair[1]})"] = round(value, 1)
+    paper: Dict[str, object] = {}
+    for (context, strategy), values in PAPER_TABLE6.items():
+        paper[f"{context} {strategy.value}"] = values
+    for pair, value in PAPER_TABLE6_IMPROVEMENTS.items():
+        paper[f"improvement {pair[0]} ({pair[1]})"] = value
+    return ExperimentResult(
+        "Table 6",
+        f"Cost of evaluating boolean expressions -- {source} (full, early-out)",
+        rows,
+        paper,
+        notes="weights: register=1, compare=2, branch=4",
+    )
+
+
+def _ref_table(layout: LayoutStrategy, experiment_id: str, paper: Dict[str, float]) -> ExperimentResult:
+    patterns = measure_layout(layout)
+    rows: Dict[str, object] = {
+        key: round(value, 1) for key, value in patterns.rows().items()
+    }
+    rows["globals region (words)"] = patterns.globals_words
+    return ExperimentResult(
+        experiment_id,
+        f"Data reference patterns, {layout.value}-allocated programs (percent)",
+        rows,
+        dict(paper),
+    )
+
+
+def table7() -> ExperimentResult:
+    """Data reference patterns in word-allocated programs."""
+    return _ref_table(LayoutStrategy.WORD_ALLOCATED, "Table 7", PAPER_TABLE7)
+
+
+def table8() -> ExperimentResult:
+    """Data reference patterns in byte-allocated programs."""
+    result = _ref_table(LayoutStrategy.BYTE_ALLOCATED, "Table 8", PAPER_TABLE8)
+    return result
+
+
+def table9() -> ExperimentResult:
+    """Cost of various byte operations (cycles)."""
+    rows: Dict[str, object] = {}
+    for op, (plain, with_overhead, mips) in isa_table9().items():
+        rows[op.value] = (repr(plain), repr(with_overhead), repr(mips))
+    paper = {
+        "load from array": ("4", "4.6", "6"),
+        "store into array": ("4", "4.6", "8-12"),
+        "load byte": ("6", "6.9", "8"),
+        "store byte": ("6", "6.9", "10-18"),
+        "load word": ("4", "4.6", "4"),
+        "store word": ("4", "4.6", "4"),
+    }
+    return ExperimentResult(
+        "Table 9",
+        "Cost of byte operations (byte machine, +15% overhead, word-MIPS)",
+        rows,
+        paper,
+    )
+
+
+def table10(use_measured_frequencies: bool = False) -> ExperimentResult:
+    """Cost of byte- versus word-addressed architectures."""
+    rows: Dict[str, object] = {}
+    paper: Dict[str, object] = {}
+    for allocation in ("word-allocated", "byte-allocated"):
+        if use_measured_frequencies:
+            layout = (
+                LayoutStrategy.WORD_ALLOCATED
+                if allocation == "word-allocated"
+                else LayoutStrategy.BYTE_ALLOCATED
+            )
+            costs = from_measurement(measure_layout(layout))
+        else:
+            costs = from_paper(allocation)
+        word_total = costs.word_machine_total()
+        byte_total = costs.byte_machine_total()
+        penalty = costs.penalty_percent()
+        rows[f"{allocation}: total on word-addressed MIPS"] = repr(word_total)
+        rows[f"{allocation}: total on byte-addressed MIPS"] = repr(byte_total)
+        rows[f"{allocation}: byte addressing penalty %"] = (
+            round(penalty[0], 1),
+            round(penalty[1], 1),
+        )
+        paper[f"{allocation}: byte addressing penalty %"] = PAPER_PENALTIES[allocation]
+    source = "measured" if use_measured_frequencies else "paper"
+    return ExperimentResult(
+        "Table 10",
+        f"Byte- vs word-addressed cost ({source} reference frequencies)",
+        rows,
+        paper,
+        notes="word addressing wins; the paper calls these minimum improvements",
+    )
+
+
+def table11() -> ExperimentResult:
+    """Cumulative improvements with postpass optimization."""
+    rows: Dict[str, object] = {}
+    paper: Dict[str, object] = {}
+    for ladder in compute_table11():
+        for level, count in ladder.counts.items():
+            rows[f"{ladder.name} / {level.value}"] = count
+        rows[f"{ladder.name} / total improvement %"] = round(
+            ladder.total_improvement_percent, 1
+        )
+    for name, levels in PAPER_TABLE11.items():
+        for level, count in levels.items():
+            paper[f"{name} / {level.value}"] = count
+        paper[f"{name} / total improvement %"] = PAPER_TABLE11_IMPROVEMENTS[name]
+    return ExperimentResult(
+        "Table 11",
+        "Static instruction counts under cumulative postpass optimization",
+        rows,
+        paper,
+        notes=(
+            "our code generator starts from a tighter baseline than the "
+            "paper's PCC, so absolute improvements are smaller; the "
+            "cumulative ordering is the reproduced result"
+        ),
+    )

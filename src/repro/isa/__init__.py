@@ -1,0 +1,119 @@
+"""The MIPS instruction set model.
+
+Public surface: registers (:class:`Reg`, conventional aliases), ALU and
+comparison operations, instruction :mod:`pieces <repro.isa.pieces>`,
+packed :class:`InstructionWord` objects, the 32-bit binary
+:mod:`encoding <repro.isa.encoding>`, immediate/constant handling, and
+the byte-addressing cost model.
+"""
+
+from .bits import (
+    MAX_INT32,
+    MIN_INT32,
+    VIRTUAL_SPACE_WORDS,
+    WORD_BITS,
+    WORD_MASK,
+    s32,
+    sign_extend,
+    u32,
+)
+from .costs import (
+    ALU_CYCLES,
+    BYTE_ADDRESSING_OVERHEAD_HIGH,
+    BYTE_ADDRESSING_OVERHEAD_LOW,
+    MEMORY_REFERENCE_CYCLES,
+    CostRange,
+    MemOperation,
+    byte_machine_costs,
+    table9,
+    word_machine_costs,
+)
+from .encoding import EncodingError, decode, encode
+from .immediates import (
+    ConstantClass,
+    TABLE1_ROWS,
+    classify_constant,
+    fits_imm4,
+    fits_imm4_reversed,
+    fits_movi,
+    materialize,
+    synthesize_large,
+)
+from .operations import (
+    NEGATED_COMPARISON,
+    PACKABLE_ALU_OPS,
+    SWAPPED_COMPARISON,
+    AluOp,
+    Comparison,
+    alu_evaluate,
+    alu_insert_byte,
+    alu_overflows,
+    compare,
+)
+from .pieces import (
+    Absolute,
+    Address,
+    Alu,
+    BaseIndex,
+    BaseShifted,
+    CompareBranch,
+    Displacement,
+    Imm,
+    Jump,
+    JumpIndirect,
+    Load,
+    LoadImm,
+    MovImm,
+    Noop,
+    Operand,
+    Piece,
+    ReadSpecial,
+    SetCond,
+    Store,
+    Trap,
+    WriteSpecial,
+)
+from .registers import (
+    ALL_REGISTERS,
+    AP,
+    FP,
+    NUM_REGISTERS,
+    RA,
+    REGISTER_ALIASES,
+    RV,
+    SP,
+    Reg,
+    SpecialReg,
+    reg,
+)
+from .words import InstructionWord, PackingError, can_pack, packing_obstacle, words_from_pieces
+
+__all__ = [
+    # bits
+    "MAX_INT32", "MIN_INT32", "VIRTUAL_SPACE_WORDS", "WORD_BITS", "WORD_MASK",
+    "s32", "sign_extend", "u32",
+    # costs
+    "ALU_CYCLES", "BYTE_ADDRESSING_OVERHEAD_HIGH", "BYTE_ADDRESSING_OVERHEAD_LOW",
+    "MEMORY_REFERENCE_CYCLES", "CostRange", "MemOperation",
+    "byte_machine_costs", "table9", "word_machine_costs",
+    # encoding
+    "EncodingError", "decode", "encode",
+    # immediates
+    "ConstantClass", "TABLE1_ROWS", "classify_constant", "fits_imm4",
+    "fits_imm4_reversed", "fits_movi", "materialize", "synthesize_large",
+    # operations
+    "NEGATED_COMPARISON", "PACKABLE_ALU_OPS", "SWAPPED_COMPARISON",
+    "AluOp", "Comparison", "alu_evaluate", "alu_insert_byte",
+    "alu_overflows", "compare",
+    # pieces
+    "Absolute", "Address", "Alu", "BaseIndex", "BaseShifted", "CompareBranch",
+    "Displacement", "Imm", "Jump", "JumpIndirect", "Load", "LoadImm",
+    "MovImm", "Noop", "Operand", "Piece", "ReadSpecial", "SetCond", "Store",
+    "Trap", "WriteSpecial",
+    # registers
+    "ALL_REGISTERS", "AP", "FP", "NUM_REGISTERS", "RA", "REGISTER_ALIASES",
+    "RV", "SP", "Reg", "SpecialReg", "reg",
+    # words
+    "InstructionWord", "PackingError", "can_pack", "packing_obstacle",
+    "words_from_pieces",
+]

@@ -1,0 +1,386 @@
+"""Binary encoding of instruction words.
+
+Every instruction word is exactly 32 bits (paper section 2.2: "Load and
+store instructions in MIPS are at most 32 bits in length").  The top
+three bits select the format:
+
+======  ========  ====================================================
+tag     format    fields
+======  ========  ====================================================
+``000``  SPECIAL  subop(5): nop, trap(code12), rdspec, wrspec
+``001``  ALU      op(5) s1(5) s2(5) dst(4)
+``010``  MOVI     value(8) dst(4)
+``011``  SET      cond(4) s1(5) s2(5) dst(4)
+``100``  CMPBR    cond(4) s1(5) s2(5) offset(15, signed, word-relative)
+``101``  JUMP     ind(1) link(1) addr(24) | reg(4)
+``110``  MEM      ls(1) mode(3) r(4) [addr21 | base4+disp17 |
+                  base4+index4 | base4+shift3 | imm21]
+``111``  PACKED   ls(1) memreg(4) base(4) disp(3) op(4) s1(5) s2(4) dst(4)
+======  ========  ====================================================
+
+A 5-bit operand field is ``is_imm(1) value(4)``: a register number or a
+4-bit literal.  The packed format is the tightest fit: 1+4+4+3 bits of
+short memory piece plus 4+5+4+4 bits of short ALU piece plus the tag is
+exactly 32 -- which is *why* packed ALU pieces are restricted to the
+4-bit opcode subset and a register second source.
+
+Branch offsets are word-relative to the *following* word (``target -
+(addr + 1)``), jumps carry 24-bit absolute word addresses (the 16M-word
+virtual space of section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .bits import sign_extend
+from .operations import AluOp, Comparison
+from .pieces import (
+    Absolute,
+    Alu,
+    BaseIndex,
+    BaseShifted,
+    CompareBranch,
+    Displacement,
+    Imm,
+    Jump,
+    JumpIndirect,
+    Load,
+    LoadImm,
+    MovImm,
+    Noop,
+    Operand,
+    Piece,
+    ReadSpecial,
+    Rfs,
+    SetCond,
+    Store,
+    Trap,
+    WriteSpecial,
+)
+from .registers import Reg, SpecialReg
+from .words import InstructionWord
+
+WORD_LENGTH_BITS = 32
+
+_TAG_SPECIAL, _TAG_ALU, _TAG_MOVI, _TAG_SET, _TAG_CMPBR, _TAG_JUMP, _TAG_MEM, _TAG_PACKED = range(8)
+
+_SUB_NOP, _SUB_TRAP, _SUB_RDSPEC, _SUB_WRSPEC, _SUB_RFS = range(5)
+
+_ALU_OPS = list(AluOp)
+_ALU_INDEX = {op: i for i, op in enumerate(_ALU_OPS)}
+_PACKED_MOVI_CODE = 15
+
+_COMPARISONS = list(Comparison)
+_COMPARISON_INDEX = {c: i for i, c in enumerate(_COMPARISONS)}
+
+_SPECIALS = list(SpecialReg)
+_SPECIAL_INDEX = {s: i for i, s in enumerate(_SPECIALS)}
+
+_MODE_ABSOLUTE, _MODE_DISP, _MODE_BASEIDX, _MODE_BASESHIFT, _MODE_LONGIMM = range(5)
+
+#: Subset of AluOp encodable in the packed word's 4-bit opcode field.
+_PACKED_OPS = [
+    AluOp.ADD, AluOp.SUB, AluOp.RSUB, AluOp.AND, AluOp.OR, AluOp.XOR,
+    AluOp.SLL, AluOp.SRL, AluOp.SRA, AluOp.MOV, AluOp.NOT,
+]
+_PACKED_INDEX = {op: i for i, op in enumerate(_PACKED_OPS)}
+
+
+class EncodingError(ValueError):
+    """Raised when a word cannot be encoded or a bit pattern decoded."""
+
+
+def _enc_operand(operand: Operand) -> int:
+    if isinstance(operand, Imm):
+        return 0x10 | operand.value
+    return operand.number
+
+
+def _dec_operand(bits5: int) -> Operand:
+    if bits5 & 0x10:
+        return Imm(bits5 & 0xF)
+    return Reg(bits5 & 0xF)
+
+
+def _require_resolved(target) -> int:
+    if not isinstance(target, int):
+        raise EncodingError(f"unresolved symbolic target {target!r}; assemble first")
+    return target
+
+
+def encode(word: InstructionWord, addr: int = 0) -> int:
+    """Encode an instruction word located at word address ``addr``."""
+    if word.is_packed:
+        return _encode_packed(word)
+    return _encode_single(word.pieces[0], addr)
+
+
+def _encode_single(piece: Piece, addr: int) -> int:
+    if isinstance(piece, Noop):
+        return _TAG_SPECIAL << 29 | _SUB_NOP << 24
+    if isinstance(piece, Trap):
+        return _TAG_SPECIAL << 29 | _SUB_TRAP << 24 | piece.code
+    if isinstance(piece, Rfs):
+        return _TAG_SPECIAL << 29 | _SUB_RFS << 24
+    if isinstance(piece, ReadSpecial):
+        return (
+            _TAG_SPECIAL << 29
+            | _SUB_RDSPEC << 24
+            | _SPECIAL_INDEX[piece.sreg] << 21
+            | piece.dst.number << 17
+        )
+    if isinstance(piece, WriteSpecial):
+        return (
+            _TAG_SPECIAL << 29
+            | _SUB_WRSPEC << 24
+            | _SPECIAL_INDEX[piece.sreg] << 21
+            | _enc_operand(piece.src) << 16
+        )
+    if isinstance(piece, Alu):
+        return (
+            _TAG_ALU << 29
+            | _ALU_INDEX[piece.op] << 24
+            | _enc_operand(piece.s1) << 19
+            | _enc_operand(piece.s2) << 14
+            | piece.dst.number << 10
+        )
+    if isinstance(piece, MovImm):
+        return _TAG_MOVI << 29 | piece.value << 21 | piece.dst.number << 17
+    if isinstance(piece, SetCond):
+        return (
+            _TAG_SET << 29
+            | _COMPARISON_INDEX[piece.cond] << 25
+            | _enc_operand(piece.s1) << 20
+            | _enc_operand(piece.s2) << 15
+            | piece.dst.number << 11
+        )
+    if isinstance(piece, CompareBranch):
+        offset = _require_resolved(piece.target) - (addr + 1)
+        if not -(1 << 14) <= offset < (1 << 14):
+            raise EncodingError(f"branch offset out of range: {offset}")
+        return (
+            _TAG_CMPBR << 29
+            | _COMPARISON_INDEX[piece.cond] << 25
+            | _enc_operand(piece.s1) << 20
+            | _enc_operand(piece.s2) << 15
+            | (offset & 0x7FFF)
+        )
+    if isinstance(piece, Jump):
+        target = _require_resolved(piece.target)
+        if not 0 <= target < (1 << 24):
+            raise EncodingError(f"jump target out of range: {target}")
+        return _TAG_JUMP << 29 | 0 << 28 | int(piece.link) << 27 | target
+    if isinstance(piece, JumpIndirect):
+        return _TAG_JUMP << 29 | 1 << 28 | int(piece.link) << 27 | piece.reg.number << 20
+    if isinstance(piece, LoadImm):
+        return (
+            _TAG_MEM << 29
+            | 0 << 28
+            | _MODE_LONGIMM << 25
+            | piece.dst.number << 21
+            | (piece.value & 0x1FFFFF)
+        )
+    if isinstance(piece, (Load, Store)):
+        return _encode_mem(piece)
+    raise EncodingError(f"cannot encode {piece!r}")
+
+
+def _encode_mem(piece) -> int:
+    ls = 1 if isinstance(piece, Store) else 0
+    register = piece.src if ls else piece.dst
+    head = _TAG_MEM << 29 | ls << 28
+    addr = piece.addr
+    if isinstance(addr, Absolute):
+        return head | _MODE_ABSOLUTE << 25 | register.number << 21 | addr.addr
+    if isinstance(addr, Displacement):
+        return (
+            head
+            | _MODE_DISP << 25
+            | register.number << 21
+            | addr.base.number << 17
+            | (addr.disp & 0x1FFFF)
+        )
+    if isinstance(addr, BaseIndex):
+        return (
+            head
+            | _MODE_BASEIDX << 25
+            | register.number << 21
+            | addr.base.number << 17
+            | addr.index.number << 13
+        )
+    if isinstance(addr, BaseShifted):
+        return (
+            head
+            | _MODE_BASESHIFT << 25
+            | register.number << 21
+            | addr.base.number << 17
+            | addr.shift << 14
+        )
+    raise EncodingError(f"cannot encode address {addr!r}")
+
+
+def _encode_packed(word: InstructionWord) -> int:
+    mem = word.mem
+    alu = word.alu
+    assert mem is not None and alu is not None
+    ls = 1 if isinstance(mem, Store) else 0
+    memreg = mem.src if ls else mem.dst  # type: ignore[union-attr]
+    assert isinstance(mem.addr, Displacement)  # type: ignore[union-attr]
+    head = (
+        _TAG_PACKED << 29
+        | ls << 28
+        | memreg.number << 24
+        | mem.addr.base.number << 20  # type: ignore[union-attr]
+        | mem.addr.disp << 17  # type: ignore[union-attr]
+    )
+    if isinstance(alu, MovImm):
+        return head | _PACKED_MOVI_CODE << 13 | alu.value << 5 | alu.dst.number
+    assert isinstance(alu, Alu)
+    if alu.op not in _PACKED_INDEX:
+        raise EncodingError(f"opcode {alu.op.value} not packable")
+    if alu.op in (AluOp.SLL, AluOp.SRL, AluOp.SRA):
+        # shifts: the wide field carries the (possibly immediate) shift
+        # amount, the narrow field the shifted register
+        if not isinstance(alu.s1, Reg):
+            raise EncodingError("packed shift needs a register source")
+        return (
+            head
+            | _PACKED_INDEX[alu.op] << 13
+            | _enc_operand(alu.s2) << 8
+            | alu.s1.number << 4
+            | alu.dst.number
+        )
+    s2 = alu.s2
+    s2_bits = 0 if isinstance(s2, Imm) else s2.number
+    if isinstance(s2, Imm) and alu.op not in (AluOp.MOV, AluOp.NOT):
+        raise EncodingError("packed ALU second source must be a register")
+    return (
+        head
+        | _PACKED_INDEX[alu.op] << 13
+        | _enc_operand(alu.s1) << 8
+        | s2_bits << 4
+        | alu.dst.number
+    )
+
+
+def decode(bits: int, addr: int = 0) -> InstructionWord:
+    """Decode a 32-bit pattern located at word address ``addr``."""
+    if not 0 <= bits < (1 << 32):
+        raise EncodingError(f"not a 32-bit pattern: {bits:#x}")
+    tag = bits >> 29
+    if tag == _TAG_SPECIAL:
+        return InstructionWord.single(_decode_special(bits))
+    if tag == _TAG_ALU:
+        opcode = (bits >> 24) & 0x1F
+        if opcode >= len(_ALU_OPS):
+            raise EncodingError(f"undefined ALU opcode {opcode}")
+        op = _ALU_OPS[opcode]
+        return InstructionWord.single(
+            Alu(
+                op,
+                _dec_operand((bits >> 19) & 0x1F),
+                _dec_operand((bits >> 14) & 0x1F),
+                Reg((bits >> 10) & 0xF),
+            )
+        )
+    if tag == _TAG_MOVI:
+        return InstructionWord.single(MovImm((bits >> 21) & 0xFF, Reg((bits >> 17) & 0xF)))
+    if tag == _TAG_SET:
+        return InstructionWord.single(
+            SetCond(
+                _COMPARISONS[(bits >> 25) & 0xF],
+                _dec_operand((bits >> 20) & 0x1F),
+                _dec_operand((bits >> 15) & 0x1F),
+                Reg((bits >> 11) & 0xF),
+            )
+        )
+    if tag == _TAG_CMPBR:
+        offset = sign_extend(bits & 0x7FFF, 15)
+        return InstructionWord.single(
+            CompareBranch(
+                _COMPARISONS[(bits >> 25) & 0xF],
+                _dec_operand((bits >> 20) & 0x1F),
+                _dec_operand((bits >> 15) & 0x1F),
+                addr + 1 + offset,
+            )
+        )
+    if tag == _TAG_JUMP:
+        link = bool((bits >> 27) & 1)
+        if (bits >> 28) & 1:
+            return InstructionWord.single(JumpIndirect(Reg((bits >> 20) & 0xF), link))
+        return InstructionWord.single(Jump(bits & 0xFFFFFF, link))
+    if tag == _TAG_MEM:
+        return InstructionWord.single(_decode_mem(bits))
+    return _decode_packed(bits)
+
+
+def _decode_special(bits: int) -> Piece:
+    sub = (bits >> 24) & 0x1F
+    if sub == _SUB_NOP:
+        return Noop()
+    if sub == _SUB_TRAP:
+        return Trap(bits & 0xFFF)
+    if sub in (_SUB_RDSPEC, _SUB_WRSPEC):
+        index = (bits >> 21) & 0x7
+        if index >= len(_SPECIALS):
+            raise EncodingError(f"undefined special register {index}")
+        if sub == _SUB_RDSPEC:
+            return ReadSpecial(_SPECIALS[index], Reg((bits >> 17) & 0xF))
+        return WriteSpecial(_SPECIALS[index], _dec_operand((bits >> 16) & 0x1F))
+    if sub == _SUB_RFS:
+        return Rfs()
+    raise EncodingError(f"unknown special subop {sub}")
+
+
+def _decode_mem(bits: int) -> Piece:
+    ls = (bits >> 28) & 1
+    mode = (bits >> 25) & 0x7
+    register = Reg((bits >> 21) & 0xF)
+    if mode == _MODE_LONGIMM:
+        if ls:
+            raise EncodingError("long-immediate store is not a valid form")
+        return LoadImm(sign_extend(bits & 0x1FFFFF, 21), register)
+    if mode == _MODE_ABSOLUTE:
+        address = Absolute(bits & 0x1FFFFF)
+    elif mode == _MODE_DISP:
+        address = Displacement(Reg((bits >> 17) & 0xF), sign_extend(bits & 0x1FFFF, 17))
+    elif mode == _MODE_BASEIDX:
+        address = BaseIndex(Reg((bits >> 17) & 0xF), Reg((bits >> 13) & 0xF))
+    elif mode == _MODE_BASESHIFT:
+        address = BaseShifted(Reg((bits >> 17) & 0xF), (bits >> 14) & 0x7)
+    else:
+        raise EncodingError(f"unknown memory mode {mode}")
+    if ls:
+        return Store(address, register)
+    return Load(address, register)
+
+
+def _decode_packed(bits: int) -> InstructionWord:
+    ls = (bits >> 28) & 1
+    memreg = Reg((bits >> 24) & 0xF)
+    address = Displacement(Reg((bits >> 20) & 0xF), (bits >> 17) & 0x7)
+    mem: Piece = Store(address, memreg) if ls else Load(address, memreg)
+    opcode = (bits >> 13) & 0xF
+    if opcode == _PACKED_MOVI_CODE:
+        alu: Piece = MovImm((bits >> 5) & 0xFF, Reg(bits & 0xF))
+    else:
+        if opcode >= len(_PACKED_OPS):
+            raise EncodingError(f"unknown packed opcode {opcode}")
+        op = _PACKED_OPS[opcode]
+        if op in (AluOp.SLL, AluOp.SRL, AluOp.SRA):
+            # wide field = shift amount (s2), narrow field = source (s1)
+            alu = Alu(
+                op,
+                Reg((bits >> 4) & 0xF),
+                _dec_operand((bits >> 8) & 0x1F),
+                Reg(bits & 0xF),
+            )
+        else:
+            # MOV/NOT ignore s2; canonical form carries Imm(0) there so
+            # the encode/decode round trip is exact.
+            s2: Operand = (
+                Imm(0) if op in (AluOp.MOV, AluOp.NOT) else Reg((bits >> 4) & 0xF)
+            )
+            alu = Alu(op, _dec_operand((bits >> 8) & 0x1F), s2, Reg(bits & 0xF))
+    return InstructionWord.packed(mem, alu)

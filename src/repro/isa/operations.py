@@ -1,0 +1,249 @@
+"""ALU operations and the sixteen comparison codes.
+
+The paper (section 2.3.1) specifies that MIPS implements conditional
+control flow with a *compare-and-branch* instruction offering one of 16
+comparisons covering both signed and unsigned arithmetic, and that the
+same 16 comparisons are available in the *Set Conditionally* instruction.
+
+The ALU operation set is the simple RISC repertoire plus the two byte
+instructions of section 4.1 (insert byte / extract byte) and the *reverse*
+subtract used to express small negative constants without sign-extension
+hardware (section 2.2: "provide reverse operators that allow the constants
+to be treated as negative").
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict
+
+from .bits import s32, u32, overflows_add, overflows_sub
+
+
+class AluOp(Enum):
+    """Arithmetic/logic operations available in an ALU piece."""
+
+    ADD = "add"
+    SUB = "sub"          # dst = s1 - s2
+    RSUB = "rsub"        # dst = s2 - s1 (reverse subtract)
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"          # shift left logical by s2 (mod 32)
+    SRL = "srl"          # shift right logical
+    SRA = "sra"          # shift right arithmetic
+    MOV = "mov"          # dst = s1 (s2 ignored)
+    NOT = "not"          # dst = ~s1 (s2 ignored)
+    IC = "ic"            # insert byte: uses the LO byte selector
+    XC = "xc"            # extract byte: selector in s1, word in s2
+    MSTEP = "mstep"      # one Booth multiply step (see below)
+    DSTEP = "dstep"      # one restoring-division step
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Opcodes allowed in the short ALU field of a *packed* instruction word.
+#: The packed encoding only has a 4-bit opcode field (see
+#: :mod:`repro.isa.encoding`), so the less frequent operations are
+#: excluded and must occupy a full word.
+PACKABLE_ALU_OPS = frozenset(
+    {
+        AluOp.ADD,
+        AluOp.SUB,
+        AluOp.RSUB,
+        AluOp.AND,
+        AluOp.OR,
+        AluOp.XOR,
+        AluOp.SLL,
+        AluOp.SRL,
+        AluOp.SRA,
+        AluOp.MOV,
+        AluOp.NOT,
+    }
+)
+
+
+def _extract_byte(selector: int, word: int) -> int:
+    """Extract the byte of ``word`` named by the low 2 bits of ``selector``.
+
+    Byte 0 is the least significant byte.  This is the semantics of the
+    paper's ``xc`` instruction: "extract the byte specified by the low
+    order two bits of a byte pointer".
+    """
+    shift = (selector & 0x3) * 8
+    return (u32(word) >> shift) & 0xFF
+
+
+def _insert_byte(selector: int, source: int, word: int) -> int:
+    """Insert the low byte of ``source`` into ``word`` at the selected byte."""
+    shift = (selector & 0x3) * 8
+    mask = 0xFF << shift
+    return (u32(word) & ~mask & 0xFFFFFFFF) | ((source & 0xFF) << shift)
+
+
+def _mstep(acc: int, multiplicand: int) -> int:
+    """One multiply step: shift-and-add on the accumulator.
+
+    A full 32x32 multiply is synthesized from 32 ``mstep`` instructions by
+    the runtime library (the chip has no multi-cycle multiplier; the paper
+    notes a numeric coprocessor is envisioned for intensive arithmetic).
+    The step computes ``acc*2 + multiplicand`` -- the classic
+    shift-accumulate kernel driven by the multiplier bits in software.
+    """
+    return u32(u32(acc) * 2 + u32(multiplicand))
+
+
+def _dstep(remainder: int, divisor: int) -> int:
+    """One restoring-division step: conditional subtract after shift."""
+    shifted = u32(remainder << 1)
+    if shifted >= u32(divisor):
+        return u32(shifted - u32(divisor)) | 1
+    return shifted & ~1 & 0xFFFFFFFF
+
+
+_ALU_FUNCS: Dict[AluOp, Callable[[int, int], int]] = {
+    AluOp.ADD: lambda a, b: u32(a + b),
+    AluOp.SUB: lambda a, b: u32(a - b),
+    AluOp.RSUB: lambda a, b: u32(b - a),
+    AluOp.AND: lambda a, b: u32(a & b),
+    AluOp.OR: lambda a, b: u32(a | b),
+    AluOp.XOR: lambda a, b: u32(a ^ b),
+    AluOp.SLL: lambda a, b: u32(u32(a) << (b & 31)),
+    AluOp.SRL: lambda a, b: u32(a) >> (b & 31),
+    AluOp.SRA: lambda a, b: u32(s32(a) >> (b & 31)),
+    AluOp.MOV: lambda a, b: u32(a),
+    AluOp.NOT: lambda a, b: u32(~a),
+    AluOp.XC: _extract_byte,
+    AluOp.MSTEP: _mstep,
+    AluOp.DSTEP: _dstep,
+}
+
+
+def alu_evaluate(op: AluOp, s1: int, s2: int) -> int:
+    """Evaluate a two-source ALU operation; returns the unsigned image.
+
+    ``IC`` (insert byte) is three-source (selector, source byte, target
+    word) and must be evaluated with :func:`alu_insert_byte` instead.
+    """
+    if op is AluOp.IC:
+        raise ValueError("insert byte needs the LO selector; use alu_insert_byte")
+    return _ALU_FUNCS[op](u32(s1), u32(s2))
+
+
+def alu_insert_byte(lo_selector: int, source: int, word: int) -> int:
+    """Evaluate the insert-byte instruction (``ic lo,src,dst``)."""
+    return _insert_byte(lo_selector, source, word)
+
+
+def alu_overflows(op: AluOp, s1: int, s2: int) -> bool:
+    """True when the signed result of ``op`` overflows 32 bits.
+
+    Only ``ADD``, ``SUB`` and ``RSUB`` participate in overflow detection;
+    the machine traps (when enabled in the surprise register) rather than
+    setting a condition code (paper section 2.3.3).
+    """
+    if op is AluOp.ADD:
+        return overflows_add(s1, s2)
+    if op is AluOp.SUB:
+        return overflows_sub(s1, s2)
+    if op is AluOp.RSUB:
+        return overflows_sub(s2, s1)
+    return False
+
+
+class Comparison(Enum):
+    """The sixteen comparison codes of compare-and-branch / set-conditionally.
+
+    Signed (``LT``..``GE``), unsigned (``LO``..``HS``), equality, the two
+    constant outcomes, and two bit-test codes.  The set is closed under
+    operand exchange (``LT`` <-> ``GT`` etc.), which is what lets the
+    compiler use *reverse comparisons* to treat an unsigned 4-bit literal
+    as a negative operand (section 2.2).
+    """
+
+    EQ = "eq"    # s1 == s2
+    NE = "ne"    # s1 != s2
+    LT = "lt"    # signed s1 <  s2
+    LE = "le"    # signed s1 <= s2
+    GT = "gt"    # signed s1 >  s2
+    GE = "ge"    # signed s1 >= s2
+    LO = "lo"    # unsigned s1 <  s2
+    LS = "ls"    # unsigned s1 <= s2
+    HI = "hi"    # unsigned s1 >  s2
+    HS = "hs"    # unsigned s1 >= s2
+    T = "t"      # always
+    F = "f"      # never
+    BC = "bc"    # bits clear: s1 & s2 == 0
+    BS = "bs"    # bits set:   s1 & s2 != 0
+    NBC = "nbc"  # not all bits clear under mask complement: s1 & ~s2 == 0
+    NBS = "nbs"  # some bit set outside mask: s1 & ~s2 != 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_COMPARE_FUNCS: Dict[Comparison, Callable[[int, int], bool]] = {
+    Comparison.EQ: lambda a, b: u32(a) == u32(b),
+    Comparison.NE: lambda a, b: u32(a) != u32(b),
+    Comparison.LT: lambda a, b: s32(a) < s32(b),
+    Comparison.LE: lambda a, b: s32(a) <= s32(b),
+    Comparison.GT: lambda a, b: s32(a) > s32(b),
+    Comparison.GE: lambda a, b: s32(a) >= s32(b),
+    Comparison.LO: lambda a, b: u32(a) < u32(b),
+    Comparison.LS: lambda a, b: u32(a) <= u32(b),
+    Comparison.HI: lambda a, b: u32(a) > u32(b),
+    Comparison.HS: lambda a, b: u32(a) >= u32(b),
+    Comparison.T: lambda a, b: True,
+    Comparison.F: lambda a, b: False,
+    Comparison.BC: lambda a, b: (u32(a) & u32(b)) == 0,
+    Comparison.BS: lambda a, b: (u32(a) & u32(b)) != 0,
+    Comparison.NBC: lambda a, b: (u32(a) & u32(~b)) == 0,
+    Comparison.NBS: lambda a, b: (u32(a) & u32(~b)) != 0,
+}
+
+#: comparison obtained by exchanging the two operands
+SWAPPED_COMPARISON = {
+    Comparison.EQ: Comparison.EQ,
+    Comparison.NE: Comparison.NE,
+    Comparison.LT: Comparison.GT,
+    Comparison.LE: Comparison.GE,
+    Comparison.GT: Comparison.LT,
+    Comparison.GE: Comparison.LE,
+    Comparison.LO: Comparison.HI,
+    Comparison.LS: Comparison.HS,
+    Comparison.HI: Comparison.LO,
+    Comparison.HS: Comparison.LS,
+    Comparison.T: Comparison.T,
+    Comparison.F: Comparison.F,
+    Comparison.BC: Comparison.BC,
+    Comparison.BS: Comparison.BS,
+}
+
+#: comparison whose outcome is the logical negation
+NEGATED_COMPARISON = {
+    Comparison.EQ: Comparison.NE,
+    Comparison.NE: Comparison.EQ,
+    Comparison.LT: Comparison.GE,
+    Comparison.LE: Comparison.GT,
+    Comparison.GT: Comparison.LE,
+    Comparison.GE: Comparison.LT,
+    Comparison.LO: Comparison.HS,
+    Comparison.LS: Comparison.HI,
+    Comparison.HI: Comparison.LS,
+    Comparison.HS: Comparison.LO,
+    Comparison.T: Comparison.F,
+    Comparison.F: Comparison.T,
+    Comparison.BC: Comparison.BS,
+    Comparison.BS: Comparison.BC,
+    Comparison.NBC: Comparison.NBS,
+    Comparison.NBS: Comparison.NBC,
+}
+
+
+def compare(cond: Comparison, s1: int, s2: int) -> bool:
+    """Evaluate comparison ``cond`` on the two 32-bit operands."""
+    return _COMPARE_FUNCS[cond](s1, s2)
+
+
+assert len(Comparison) == 16, "the paper specifies exactly 16 comparisons"

@@ -1,0 +1,54 @@
+"""Mini-Pascal front end: lexer, parser, AST, type checker."""
+
+from . import ast
+from .lexer import Kind, LexError, Token, tokenize
+from .parser import ParseError, Parser, parse_program
+from .semantic import (
+    CheckedProgram,
+    Checker,
+    RoutineSymbol,
+    SemanticError,
+    VarSymbol,
+    analyze,
+    check_program,
+)
+from .types import (
+    BOOLEAN,
+    CHAR,
+    INTEGER,
+    ArrayType,
+    BooleanType,
+    CharType,
+    IntegerType,
+    RecordType,
+    Type,
+    compatible,
+)
+
+__all__ = [
+    "ArrayType",
+    "BOOLEAN",
+    "BooleanType",
+    "CHAR",
+    "CharType",
+    "CheckedProgram",
+    "Checker",
+    "INTEGER",
+    "IntegerType",
+    "Kind",
+    "LexError",
+    "ParseError",
+    "Parser",
+    "RecordType",
+    "RoutineSymbol",
+    "SemanticError",
+    "Token",
+    "Type",
+    "VarSymbol",
+    "analyze",
+    "ast",
+    "check_program",
+    "compatible",
+    "parse_program",
+    "tokenize",
+]

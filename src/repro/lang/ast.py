@@ -1,0 +1,226 @@
+"""Abstract syntax for mini-Pascal."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# type expressions (syntactic; resolved by the checker)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NamedType:
+    name: str  # 'integer', 'char', 'boolean', or a declared type name
+
+
+@dataclass(frozen=True)
+class ArrayTypeExpr:
+    low: int
+    high: int
+    element: "TypeExpr"
+    packed: bool = False
+
+
+@dataclass(frozen=True)
+class RecordTypeExpr:
+    fields: Tuple[Tuple[str, "TypeExpr"], ...]
+    packed: bool = False
+
+
+TypeExpr = Union[NamedType, ArrayTypeExpr, RecordTypeExpr]
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class CharLit(Expr):
+    value: int = 0  # ordinal
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class FieldAccess(Expr):
+    base: Optional[Expr] = None
+    field_name: str = ""
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""  # + - * div mod and or = <> < <= > >=
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""  # - not
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    target: Optional[Expr] = None  # VarRef / Index / FieldAccess
+    value: Optional[Expr] = None
+
+
+@dataclass
+class CallStmt(Stmt):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Compound(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_branch: Optional[Stmt] = None
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Repeat(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class For(Stmt):
+    var: str = ""
+    start: Optional[Expr] = None
+    stop: Optional[Expr] = None
+    downto: bool = False
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Write(Stmt):
+    args: List[Expr] = field(default_factory=list)
+    newline: bool = False
+
+
+@dataclass
+class Read(Stmt):
+    target: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    type_expr: TypeExpr
+    by_ref: bool = False  # 'var' parameter
+    line: int = 0
+
+
+@dataclass
+class VarDecl:
+    name: str
+    type_expr: TypeExpr
+    line: int = 0
+
+
+@dataclass
+class ConstDecl:
+    name: str
+    value: int
+    line: int = 0
+
+
+@dataclass
+class TypeDecl:
+    name: str
+    type_expr: TypeExpr
+    line: int = 0
+
+
+@dataclass
+class Routine:
+    """A procedure (``result_type is None``) or function."""
+
+    name: str
+    params: List[Param]
+    result_type: Optional[TypeExpr]
+    consts: List[ConstDecl]
+    local_vars: List[VarDecl]
+    body: Compound
+    line: int = 0
+
+    @property
+    def is_function(self) -> bool:
+        return self.result_type is not None
+
+
+@dataclass
+class ProgramAst:
+    name: str
+    consts: List[ConstDecl]
+    types: List[TypeDecl]
+    global_vars: List[VarDecl]
+    routines: List[Routine]
+    body: Compound

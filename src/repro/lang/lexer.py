@@ -1,0 +1,148 @@
+"""Lexer for mini-Pascal.
+
+The workload corpus (the paper's data comes from "a collection of
+Pascal programs including compilers and VLSI design aid software") is
+written in a compact Pascal subset; this module tokenizes it.
+
+Token kinds: keywords, identifiers, integer literals, character
+literals (``'a'``), string literals (``'hello'`` with more than one
+character), and punctuation/operators.  Comments are ``{ ... }`` or
+``(* ... *)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List, Optional
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+KEYWORDS = frozenset(
+    """
+    program const type var array of record packed begin end
+    procedure function if then else while do repeat until for to
+    downto case integer char boolean true false div mod and or not
+    """.split()
+)
+
+
+class Kind(Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    CHAR = "char"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: Kind
+    text: str
+    line: int
+    value: Optional[int] = None  # numbers and chars
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is Kind.KEYWORD and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind is Kind.OP and self.text == op
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}:{self.text}"
+
+
+_TWO_CHAR_OPS = (":=", "<=", ">=", "<>", "..")
+_ONE_CHAR_OPS = "+-*/=<>()[].,;:^"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize mini-Pascal source, raising :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "{":
+            end = source.find("}", i)
+            if end < 0:
+                raise LexError("unterminated { comment", line)
+            line += source.count("\n", i, end)
+            i = end + 1
+            continue
+        if source.startswith("(*", i):
+            end = source.find("*)", i)
+            if end < 0:
+                raise LexError("unterminated (* comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i].lower()
+            kind = Kind.KEYWORD if word in KEYWORDS else Kind.IDENT
+            tokens.append(Token(kind, word, line))
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            # lookahead: '1..5' must not eat the range dots
+            tokens.append(Token(Kind.NUMBER, source[start:i], line, int(source[start:i])))
+            continue
+        if ch == "'":
+            j = i + 1
+            chars: List[str] = []
+            while True:
+                if j >= n:
+                    raise LexError("unterminated character/string literal", line)
+                if source[j] == "'":
+                    if j + 1 < n and source[j + 1] == "'":  # escaped quote
+                        chars.append("'")
+                        j += 2
+                        continue
+                    break
+                if source[j] == "\n":
+                    raise LexError("newline in character/string literal", line)
+                chars.append(source[j])
+                j += 1
+            text = "".join(chars)
+            i = j + 1
+            if len(text) == 1:
+                tokens.append(Token(Kind.CHAR, text, line, ord(text)))
+            else:
+                tokens.append(Token(Kind.STRING, text, line))
+            continue
+        matched = None
+        for op in _TWO_CHAR_OPS:
+            if source.startswith(op, i):
+                matched = op
+                break
+        if matched:
+            tokens.append(Token(Kind.OP, matched, line))
+            i += len(matched)
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(Kind.OP, ch, line))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(Kind.EOF, "", line))
+    return tokens

@@ -1,0 +1,458 @@
+"""Recursive-descent parser for mini-Pascal.
+
+Standard Pascal operator precedence is kept (relational operators bind
+loosest, ``and`` multiplies, ``or`` adds, ``not`` binds tightest), so
+compound boolean expressions read exactly like the paper's example
+``Found := (Rec = Key) OR (I = 13)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    ArrayTypeExpr,
+    Assign,
+    BinOp,
+    BoolLit,
+    CallExpr,
+    CallStmt,
+    CharLit,
+    Compound,
+    ConstDecl,
+    Expr,
+    FieldAccess,
+    For,
+    If,
+    Index,
+    IntLit,
+    NamedType,
+    Param,
+    ProgramAst,
+    Read,
+    RecordTypeExpr,
+    Repeat,
+    Routine,
+    Stmt,
+    StringLit,
+    TypeDecl,
+    TypeExpr,
+    UnOp,
+    VarDecl,
+    VarRef,
+    While,
+    Write,
+)
+from .lexer import Kind, Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+        self.token = token
+
+
+_RELOPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def expect_op(self, op: str) -> Token:
+        if not self.current.is_op(op):
+            raise ParseError(f"expected {op!r}", self.current)
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise ParseError(f"expected {word!r}", self.current)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not Kind.IDENT:
+            raise ParseError("expected an identifier", self.current)
+        return self.advance()
+
+    def accept_op(self, op: str) -> bool:
+        if self.current.is_op(op):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    # -- program structure ------------------------------------------------------
+
+    def parse_program(self) -> ProgramAst:
+        self.expect_keyword("program")
+        name = self.expect_ident().text
+        self.expect_op(";")
+        consts = self.parse_const_section()
+        types = self.parse_type_section()
+        global_vars = self.parse_var_section()
+        routines: List[Routine] = []
+        while self.current.is_keyword("procedure") or self.current.is_keyword("function"):
+            routines.append(self.parse_routine())
+        body = self.parse_compound()
+        self.expect_op(".")
+        return ProgramAst(name, consts, types, global_vars, routines, body)
+
+    def parse_const_section(self) -> List[ConstDecl]:
+        out: List[ConstDecl] = []
+        if self.accept_keyword("const"):
+            while self.current.kind is Kind.IDENT:
+                name = self.advance().text
+                self.expect_op("=")
+                out.append(ConstDecl(name, self.parse_const_value(), self.current.line))
+                self.expect_op(";")
+        return out
+
+    def parse_const_value(self) -> int:
+        negative = self.accept_op("-")
+        token = self.advance()
+        if token.kind in (Kind.NUMBER, Kind.CHAR):
+            value = token.value or 0
+        elif token.kind is Kind.KEYWORD and token.text in ("true", "false"):
+            value = 1 if token.text == "true" else 0
+        else:
+            raise ParseError("expected a constant", token)
+        return -value if negative else value
+
+    def parse_type_section(self) -> List[TypeDecl]:
+        out: List[TypeDecl] = []
+        if self.accept_keyword("type"):
+            while self.current.kind is Kind.IDENT:
+                name = self.advance().text
+                self.expect_op("=")
+                out.append(TypeDecl(name, self.parse_type_expr(), self.current.line))
+                self.expect_op(";")
+        return out
+
+    def parse_var_section(self) -> List[VarDecl]:
+        out: List[VarDecl] = []
+        if self.accept_keyword("var"):
+            while self.current.kind is Kind.IDENT:
+                names = [self.advance().text]
+                while self.accept_op(","):
+                    names.append(self.expect_ident().text)
+                self.expect_op(":")
+                type_expr = self.parse_type_expr()
+                for name in names:
+                    out.append(VarDecl(name, type_expr, self.current.line))
+                self.expect_op(";")
+        return out
+
+    def parse_type_expr(self) -> TypeExpr:
+        packed = self.accept_keyword("packed")
+        if self.accept_keyword("array"):
+            self.expect_op("[")
+            low = self.parse_const_value()
+            self.expect_op("..")
+            high = self.parse_const_value()
+            self.expect_op("]")
+            self.expect_keyword("of")
+            element = self.parse_type_expr()
+            return ArrayTypeExpr(low, high, element, packed)
+        if self.accept_keyword("record"):
+            fields: List[Tuple[str, TypeExpr]] = []
+            while not self.current.is_keyword("end"):
+                names = [self.expect_ident().text]
+                while self.accept_op(","):
+                    names.append(self.expect_ident().text)
+                self.expect_op(":")
+                ftype = self.parse_type_expr()
+                for name in names:
+                    fields.append((name, ftype))
+                if not self.accept_op(";"):
+                    break
+            self.expect_keyword("end")
+            return RecordTypeExpr(tuple(fields), packed)
+        if packed:
+            raise ParseError("'packed' applies to arrays and records", self.current)
+        token = self.advance()
+        if token.kind is Kind.KEYWORD and token.text in ("integer", "char", "boolean"):
+            return NamedType(token.text)
+        if token.kind is Kind.IDENT:
+            return NamedType(token.text)
+        raise ParseError("expected a type", token)
+
+    def parse_routine(self) -> Routine:
+        line = self.current.line
+        is_function = self.current.is_keyword("function")
+        self.advance()
+        name = self.expect_ident().text
+        params: List[Param] = []
+        if self.accept_op("("):
+            while True:
+                by_ref = self.accept_keyword("var")
+                names = [self.expect_ident().text]
+                while self.accept_op(","):
+                    names.append(self.expect_ident().text)
+                self.expect_op(":")
+                ptype = self.parse_type_expr()
+                for pname in names:
+                    params.append(Param(pname, ptype, by_ref, self.current.line))
+                if not self.accept_op(";"):
+                    break
+            self.expect_op(")")
+        result_type: Optional[TypeExpr] = None
+        if is_function:
+            self.expect_op(":")
+            result_type = self.parse_type_expr()
+        self.expect_op(";")
+        consts = self.parse_const_section()
+        local_vars = self.parse_var_section()
+        body = self.parse_compound()
+        self.expect_op(";")
+        return Routine(name, params, result_type, consts, local_vars, body, line)
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_compound(self) -> Compound:
+        line = self.current.line
+        self.expect_keyword("begin")
+        body: List[Stmt] = []
+        while not self.current.is_keyword("end"):
+            stmt = self.parse_statement()
+            if stmt is not None:
+                body.append(stmt)
+            if not self.accept_op(";"):
+                break
+        self.expect_keyword("end")
+        return Compound(line, body)
+
+    def parse_statement(self) -> Optional[Stmt]:
+        token = self.current
+        if token.is_keyword("begin"):
+            return self.parse_compound()
+        if token.is_keyword("if"):
+            return self.parse_if()
+        if token.is_keyword("while"):
+            return self.parse_while()
+        if token.is_keyword("repeat"):
+            return self.parse_repeat()
+        if token.is_keyword("for"):
+            return self.parse_for()
+        if token.kind is Kind.IDENT:
+            if token.text in ("write", "writeln"):
+                return self.parse_write()
+            if token.text == "read":
+                return self.parse_read()
+            return self.parse_assign_or_call()
+        if token.is_keyword("end") or token.is_op(";"):
+            return None  # empty statement
+        raise ParseError("expected a statement", token)
+
+    def parse_if(self) -> If:
+        line = self.current.line
+        self.expect_keyword("if")
+        cond = self.parse_expr()
+        self.expect_keyword("then")
+        then_branch = self.parse_statement()
+        else_branch = None
+        if self.accept_keyword("else"):
+            else_branch = self.parse_statement()
+        return If(line, cond, then_branch, else_branch)
+
+    def parse_while(self) -> While:
+        line = self.current.line
+        self.expect_keyword("while")
+        cond = self.parse_expr()
+        self.expect_keyword("do")
+        return While(line, cond, self.parse_statement())
+
+    def parse_repeat(self) -> Repeat:
+        line = self.current.line
+        self.expect_keyword("repeat")
+        body: List[Stmt] = []
+        while not self.current.is_keyword("until"):
+            stmt = self.parse_statement()
+            if stmt is not None:
+                body.append(stmt)
+            if not self.accept_op(";"):
+                break
+        self.expect_keyword("until")
+        return Repeat(line, body, self.parse_expr())
+
+    def parse_for(self) -> For:
+        line = self.current.line
+        self.expect_keyword("for")
+        var = self.expect_ident().text
+        self.expect_op(":=")
+        start = self.parse_expr()
+        downto = False
+        if self.accept_keyword("downto"):
+            downto = True
+        else:
+            self.expect_keyword("to")
+        stop = self.parse_expr()
+        self.expect_keyword("do")
+        return For(line, var, start, stop, downto, self.parse_statement())
+
+    def parse_write(self) -> Write:
+        line = self.current.line
+        name = self.advance().text  # write / writeln
+        args: List[Expr] = []
+        if self.accept_op("("):
+            if not self.current.is_op(")"):
+                args.append(self.parse_expr())
+                while self.accept_op(","):
+                    args.append(self.parse_expr())
+            self.expect_op(")")
+        return Write(line, args, newline=(name == "writeln"))
+
+    def parse_read(self) -> Read:
+        line = self.current.line
+        self.advance()
+        self.expect_op("(")
+        target = self.parse_designator()
+        self.expect_op(")")
+        return Read(line, target)
+
+    def parse_assign_or_call(self) -> Stmt:
+        line = self.current.line
+        name_token = self.expect_ident()
+        if self.current.is_op("(") or not (
+            self.current.is_op(":=") or self.current.is_op("[") or self.current.is_op(".")
+        ):
+            # procedure call (with or without arguments)
+            args: List[Expr] = []
+            if self.accept_op("("):
+                if not self.current.is_op(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_op(","):
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+            return CallStmt(line, name_token.text, args)
+        target: Expr = VarRef(line, name_token.text)
+        target = self.parse_designator_suffix(target)
+        self.expect_op(":=")
+        return Assign(line, target, self.parse_expr())
+
+    # -- expressions -----------------------------------------------------------------
+
+    def parse_designator(self) -> Expr:
+        token = self.expect_ident()
+        return self.parse_designator_suffix(VarRef(token.line, token.text))
+
+    def parse_designator_suffix(self, base: Expr) -> Expr:
+        while True:
+            if self.accept_op("["):
+                index = self.parse_expr()
+                self.expect_op("]")
+                base = Index(base.line, base, index)
+            elif self.current.is_op(".") and self.tokens[self.pos + 1].kind is Kind.IDENT:
+                self.advance()
+                field_name = self.expect_ident().text
+                base = FieldAccess(base.line, base, field_name)
+            else:
+                return base
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_simple()
+        if self.current.kind is Kind.OP and self.current.text in _RELOPS:
+            op = self.advance().text
+            right = self.parse_simple()
+            return BinOp(left.line, op, left, right)
+        return left
+
+    def parse_simple(self) -> Expr:
+        line = self.current.line
+        negate = False
+        if self.accept_op("-"):
+            negate = True
+        elif self.current.is_op("+"):
+            self.advance()
+        left = self.parse_term()
+        if negate:
+            left = UnOp(line, "-", left)
+        while True:
+            if self.current.is_op("+") or self.current.is_op("-"):
+                op = self.advance().text
+                left = BinOp(line, op, left, self.parse_term())
+            elif self.current.is_keyword("or"):
+                self.advance()
+                left = BinOp(line, "or", left, self.parse_term())
+            else:
+                return left
+
+    def parse_term(self) -> Expr:
+        line = self.current.line
+        left = self.parse_factor()
+        while True:
+            if self.current.is_op("*"):
+                self.advance()
+                left = BinOp(line, "*", left, self.parse_factor())
+            elif self.current.is_keyword("div"):
+                self.advance()
+                left = BinOp(line, "div", left, self.parse_factor())
+            elif self.current.is_keyword("mod"):
+                self.advance()
+                left = BinOp(line, "mod", left, self.parse_factor())
+            elif self.current.is_keyword("and"):
+                self.advance()
+                left = BinOp(line, "and", left, self.parse_factor())
+            else:
+                return left
+
+    def parse_factor(self) -> Expr:
+        token = self.current
+        if token.kind is Kind.NUMBER:
+            self.advance()
+            return IntLit(token.line, token.value or 0)
+        if token.kind is Kind.CHAR:
+            self.advance()
+            return CharLit(token.line, token.value or 0)
+        if token.kind is Kind.STRING:
+            self.advance()
+            return StringLit(token.line, token.text)
+        if token.is_keyword("true") or token.is_keyword("false"):
+            self.advance()
+            return BoolLit(token.line, token.text == "true")
+        if token.is_keyword("not"):
+            self.advance()
+            return UnOp(token.line, "not", self.parse_factor())
+        if token.is_op("-"):
+            # a signed factor (e.g. the right operand of `div -2`)
+            self.advance()
+            return UnOp(token.line, "-", self.parse_factor())
+        if token.is_op("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        if token.kind is Kind.IDENT:
+            self.advance()
+            if self.current.is_op("("):
+                self.advance()
+                args: List[Expr] = []
+                if not self.current.is_op(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_op(","):
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+                return CallExpr(token.line, token.text, args)
+            return self.parse_designator_suffix(VarRef(token.line, token.text))
+        raise ParseError("expected an expression", token)
+
+
+def parse_program(source: str) -> ProgramAst:
+    """Parse mini-Pascal source into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,89 @@
+"""Resolved types for mini-Pascal.
+
+Sizes are *not* decided here: whether a ``char`` occupies a byte or a
+full word is a compiler *layout strategy* -- the exact contrast between
+the paper's Table 7 (word-allocated) and Table 8 (byte-allocated)
+programs.  Types only carry shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class Type:
+    """Base class for resolved types."""
+
+    @property
+    def is_scalar(self) -> bool:
+        return isinstance(self, (IntegerType, CharType, BooleanType))
+
+    @property
+    def is_byte_natured(self) -> bool:
+        """Char/boolean data: candidates for byte allocation (Table 8)."""
+        return isinstance(self, (CharType, BooleanType))
+
+
+@dataclass(frozen=True)
+class IntegerType(Type):
+    def __repr__(self) -> str:
+        return "integer"
+
+
+@dataclass(frozen=True)
+class CharType(Type):
+    def __repr__(self) -> str:
+        return "char"
+
+
+@dataclass(frozen=True)
+class BooleanType(Type):
+    def __repr__(self) -> str:
+        return "boolean"
+
+
+INTEGER = IntegerType()
+CHAR = CharType()
+BOOLEAN = BooleanType()
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    low: int
+    high: int
+    element: Type
+    packed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"empty array range {self.low}..{self.high}")
+
+    @property
+    def length(self) -> int:
+        return self.high - self.low + 1
+
+    def __repr__(self) -> str:
+        packed = "packed " if self.packed else ""
+        return f"{packed}array[{self.low}..{self.high}] of {self.element!r}"
+
+
+@dataclass(frozen=True)
+class RecordType(Type):
+    fields: Tuple[Tuple[str, Type], ...]
+    packed: bool = False
+
+    def field_type(self, name: str) -> Optional[Type]:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        return None
+
+    def __repr__(self) -> str:
+        inner = "; ".join(f"{n}: {t!r}" for n, t in self.fields)
+        return f"record {inner} end"
+
+
+def compatible(a: Type, b: Type) -> bool:
+    """Assignment/comparison compatibility (structural for composites)."""
+    return a == b

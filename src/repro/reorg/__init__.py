@@ -1,0 +1,38 @@
+"""The postpass reorganizer: scheduling, packing, branch-delay filling."""
+
+from .blocks import BasicBlock, FlowGraph, LabeledPiece, liveness, split_blocks
+from .branch_delay import DelayFillStats, DelaySlotFiller
+from .dag import DagNode, DependenceDag
+from .pipeline_model import LOAD_DELAY, DepKind, min_distance
+from .reorganizer import (
+    ALL_LEVELS,
+    OptLevel,
+    ReorgResult,
+    reorganize,
+    reorganize_all_levels,
+)
+from .scheduler import ScheduledBlock, naive_block, schedule_block, violates_load_delay
+
+__all__ = [
+    "ALL_LEVELS",
+    "BasicBlock",
+    "DagNode",
+    "DelayFillStats",
+    "DelaySlotFiller",
+    "DepKind",
+    "DependenceDag",
+    "FlowGraph",
+    "LOAD_DELAY",
+    "LabeledPiece",
+    "OptLevel",
+    "ReorgResult",
+    "ScheduledBlock",
+    "liveness",
+    "min_distance",
+    "naive_block",
+    "reorganize",
+    "reorganize_all_levels",
+    "schedule_block",
+    "split_blocks",
+    "violates_load_delay",
+]

@@ -1,0 +1,139 @@
+"""Machine-level dependence DAG for one basic block.
+
+Paper, section 4.2.1, step 1 of the algorithm: "Read in a basic block
+and create a machine-level dag that represents the dependencies between
+individual instruction pieces."
+
+Nodes are instruction pieces (by position); edges carry the minimum
+word distance from :mod:`repro.reorg.pipeline_model`.  Memory ordering
+uses a small alias analysis: two references provably distinct (different
+absolute addresses, or same unmodified base register with different
+displacements) need no edge; everything else is conservatively ordered
+("The algorithm must also avoid reordering loads and stores that might
+be aliased").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..isa.pieces import Absolute, Displacement, Load, Piece, Store
+from .pipeline_model import DepKind, is_barrier, min_distance
+
+
+@dataclass
+class DagNode:
+    """One piece and its dependence edges (indices into the block)."""
+
+    index: int
+    piece: Piece
+    #: successors: node index -> required minimum word distance
+    succs: Dict[int, int] = field(default_factory=dict)
+    #: predecessors: node index -> required minimum word distance
+    preds: Dict[int, int] = field(default_factory=dict)
+    #: longest path (in words) from this node to any sink
+    height: int = 0
+
+
+def _addresses_disjoint(
+    first: Piece, second: Piece, base_written_between: bool
+) -> bool:
+    """True when two memory references provably touch different words.
+
+    Absolute addresses are *never* disjoint from each other: the
+    absolute window hosts memory-mapped device registers, whose access
+    order is semantics (select-then-trigger protocols), not just data.
+    """
+    a, b = first.addr, second.addr  # type: ignore[union-attr]
+    if (
+        isinstance(a, Displacement)
+        and isinstance(b, Displacement)
+        and a.base == b.base
+        and not base_written_between
+    ):
+        return a.disp != b.disp
+    return False
+
+
+def _is_io_like(piece: Piece) -> bool:
+    """Memory pieces whose order must be pinned even against other reads."""
+    return piece.is_memory and isinstance(piece.addr, Absolute)  # type: ignore[union-attr]
+
+
+class DependenceDag:
+    """The dependence DAG over a basic block's pieces."""
+
+    def __init__(self, pieces: Sequence[Piece]):
+        self.nodes: List[DagNode] = [DagNode(i, p) for i, p in enumerate(pieces)]
+        self._build()
+        self._compute_heights()
+
+    def _add_edge(self, pred: int, succ: int, kind: DepKind) -> None:
+        distance = min_distance(self.nodes[pred].piece, kind)
+        node = self.nodes[pred]
+        if succ in node.succs:
+            distance = max(distance, node.succs[succ])
+        node.succs[succ] = distance
+        self.nodes[succ].preds[pred] = distance
+
+    def _build(self) -> None:
+        pieces = [n.piece for n in self.nodes]
+        for j, later in enumerate(pieces):
+            j_reads = later.reads() | later.reads_special()
+            j_writes = later.writes() | later.writes_special()
+            base_written = False
+            for i in range(j - 1, -1, -1):
+                earlier = pieces[i]
+                i_reads = earlier.reads() | earlier.reads_special()
+                i_writes = earlier.writes() | earlier.writes_special()
+
+                if is_barrier(earlier) or is_barrier(later):
+                    self._add_edge(i, j, DepKind.ORDER)
+                if earlier.is_flow or later.is_flow:
+                    # flow ends the block: everything precedes it
+                    self._add_edge(i, j, DepKind.ORDER)
+                if i_writes & j_reads:
+                    self._add_edge(i, j, DepKind.RAW)
+                if i_reads & j_writes:
+                    self._add_edge(i, j, DepKind.WAR)
+                if i_writes & j_writes:
+                    self._add_edge(i, j, DepKind.WAW)
+
+                if later.is_memory and earlier.is_memory:
+                    either_stores = earlier.is_store or later.is_store
+                    io_pair = _is_io_like(earlier) and _is_io_like(later)
+                    if io_pair or (
+                        either_stores
+                        and not _addresses_disjoint(earlier, later, base_written)
+                    ):
+                        self._add_edge(i, j, DepKind.MEM)
+
+                # track whether any piece between i and j (exclusive)
+                # rewrites j's base register, for the alias check
+                if later.is_memory and isinstance(later.addr, Displacement):  # type: ignore[union-attr]
+                    if later.addr.base in i_writes:  # type: ignore[union-attr]
+                        base_written = True
+
+    def _compute_heights(self) -> None:
+        for node in reversed(self.nodes):
+            if node.succs:
+                node.height = max(
+                    max(dist, 1) + self.nodes[s].height for s, dist in node.succs.items()
+                )
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def roots(self) -> List[int]:
+        """Nodes with no predecessors (schedulable first)."""
+        return [n.index for n in self.nodes if not n.preds]
+
+    def topological_check(self, order: Sequence[int]) -> bool:
+        """True when ``order`` respects every edge direction."""
+        position = {index: at for at, index in enumerate(order)}
+        return all(
+            position[i] < position[s] for i in position for s in self.nodes[i].succs
+        )

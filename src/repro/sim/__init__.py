@@ -1,0 +1,57 @@
+"""Machine simulator: functional execution and pipeline timing."""
+
+from .cpu import Cpu, CpuStats, HazardMode
+from .faults import (
+    BusError,
+    ExceptionCause,
+    Halted,
+    HazardViolation,
+    IllegalInstruction,
+    InterruptRequest,
+    MachineFault,
+    OverflowTrap,
+    PageFault,
+    PrivilegeViolation,
+    TrapInstruction,
+)
+from .machine import (
+    TRAP_HALT,
+    TRAP_READ_INT,
+    TRAP_WRITE_CHAR,
+    TRAP_WRITE_INT,
+    Machine,
+    run_source,
+)
+from .memory import MemoryStats, MemorySystem, PhysicalMemory
+from .surprise import SurpriseRegister
+from .tracing import TraceRecord, format_trace, trace
+
+__all__ = [
+    "BusError",
+    "Cpu",
+    "CpuStats",
+    "ExceptionCause",
+    "Halted",
+    "HazardMode",
+    "HazardViolation",
+    "IllegalInstruction",
+    "InterruptRequest",
+    "MachineFault",
+    "Machine",
+    "MemoryStats",
+    "MemorySystem",
+    "OverflowTrap",
+    "PageFault",
+    "PhysicalMemory",
+    "PrivilegeViolation",
+    "SurpriseRegister",
+    "TraceRecord",
+    "TRAP_HALT",
+    "TRAP_READ_INT",
+    "TRAP_WRITE_CHAR",
+    "TRAP_WRITE_INT",
+    "TrapInstruction",
+    "format_trace",
+    "run_source",
+    "trace",
+]

@@ -1,0 +1,113 @@
+"""Exception causes and fault types.
+
+The paper (section 3.3): "By an exception we mean all synchronous and
+asynchronous events that disrupt the normal flow of control.  These
+include interrupts, software traps, both internal and external faults,
+and unrecoverable errors such as reset."
+
+The surprise register carries **two** exception cause fields (section
+3.2: "there are two fields that specify the exact nature of the last
+exception") -- a major cause and a minor code (the trap number, the
+faulting address's page, the interrupt flag, ...).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class ExceptionCause(IntEnum):
+    """Major exception causes (the first surprise cause field)."""
+
+    NONE = 0
+    RESET = 1
+    INTERRUPT = 2
+    TRAP = 3          # software trap; minor field carries the 12-bit code
+    OVERFLOW = 4      # arithmetic overflow with overflow traps enabled
+    PAGE_FAULT = 5    # reference between the two valid segment regions
+    PRIVILEGE = 6     # user-mode use of a privileged instruction
+    ILLEGAL = 7       # undecodable instruction word
+    BUS_ERROR = 8     # reference outside physical memory
+
+
+class MachineFault(Exception):
+    """Base class for faults raised during instruction execution.
+
+    The CPU catches these and runs the surprise sequence; they escape to
+    Python callers only when no exception machinery is armed.
+    """
+
+    cause = ExceptionCause.NONE
+
+    def __init__(self, message: str = "", minor: int = 0):
+        super().__init__(message or self.__class__.__name__)
+        self.minor = minor
+
+
+class PageFault(MachineFault):
+    """A reference between the two valid regions of the address space."""
+
+    cause = ExceptionCause.PAGE_FAULT
+
+    def __init__(self, address: int, is_write: bool = False, is_fetch: bool = False):
+        super().__init__(f"page fault at word address {address:#x}", minor=address & 0xFFF)
+        self.address = address
+        self.is_write = is_write
+        self.is_fetch = is_fetch
+
+
+class BusError(MachineFault):
+    """A physical reference outside installed memory."""
+
+    cause = ExceptionCause.BUS_ERROR
+
+    def __init__(self, address: int):
+        super().__init__(f"bus error at physical word address {address:#x}")
+        self.address = address
+
+
+class OverflowTrap(MachineFault):
+    """Signed arithmetic overflow with overflow traps enabled."""
+
+    cause = ExceptionCause.OVERFLOW
+
+
+class PrivilegeViolation(MachineFault):
+    """A privileged instruction executed at user level."""
+
+    cause = ExceptionCause.PRIVILEGE
+
+
+class IllegalInstruction(MachineFault):
+    """An instruction word that does not decode."""
+
+    cause = ExceptionCause.ILLEGAL
+
+
+class TrapInstruction(MachineFault):
+    """A software trap (monitor call); minor is the 12-bit trap code."""
+
+    cause = ExceptionCause.TRAP
+
+    def __init__(self, code: int):
+        super().__init__(f"trap #{code}", minor=code)
+        self.code = code
+
+
+class InterruptRequest(MachineFault):
+    """The single external interrupt line (section 3.3)."""
+
+    cause = ExceptionCause.INTERRUPT
+
+
+class HazardViolation(Exception):
+    """Raised in *checked* mode when code violates a pipeline constraint.
+
+    This is a verification aid, not an architectural event: the real
+    machine has no interlocks, so a violated constraint silently reads a
+    stale value (which *bare* mode reproduces faithfully).
+    """
+
+
+class Halted(Exception):
+    """Raised when the machine executes the halt convention (trap #0)."""

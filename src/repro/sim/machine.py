@@ -1,0 +1,131 @@
+"""Bare-metal machine: program + CPU + memory + runtime services.
+
+:class:`Machine` is the convenience harness used by tests, benchmarks
+and examples when the full operating system of :mod:`repro.system` is
+not needed.  It loads an assembled :class:`~repro.asm.program.Program`,
+points the PC at its entry, gives it a stack, and services the runtime
+trap conventions:
+
+=======  =====================================================
+trap     service
+=======  =====================================================
+``#0``   halt
+``#1``   write the integer in ``r1`` to the output stream
+``#2``   write the character in the low byte of ``r1``
+``#3``   read an integer from the input queue into ``r1``
+=======  =====================================================
+
+Programs that need the real exception machinery (demand paging, context
+switches) run under :class:`repro.system.kernel.Kernel` instead, where
+traps vector through the surprise sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..asm.program import Program
+from ..isa.bits import s32
+from ..isa.registers import SP
+from .cpu import Cpu, CpuStats, HazardMode
+from .faults import Halted
+from .memory import PhysicalMemory
+
+TRAP_HALT = 0
+TRAP_WRITE_INT = 1
+TRAP_WRITE_CHAR = 2
+TRAP_READ_INT = 3
+
+DEFAULT_STACK_TOP = (1 << 20) - 1
+
+
+class Machine:
+    """A loaded program ready to run on the bare CPU."""
+
+    def __init__(
+        self,
+        program: Program,
+        hazard_mode: HazardMode = HazardMode.BARE,
+        memory_size: int = 1 << 22,
+        stack_top: int = DEFAULT_STACK_TOP,
+        inputs: Optional[Iterable[int]] = None,
+    ):
+        self.program = program
+        self.memory = PhysicalMemory(memory_size)
+        self.memory.load_image(program.memory)
+        self.cpu = Cpu(self.memory, hazard_mode=hazard_mode)
+        # seed the decode cache with the program's own InstructionWord
+        # objects so analysis notes on Load/Store pieces survive
+        for addr, word in program.instructions.items():
+            self.cpu._decode_cache[addr] = (program.memory[addr], word)
+        self.cpu.pc = program.entry
+        self.cpu.regs[SP.number] = stack_top
+        self.cpu.trap_hook = self._service_trap
+        self.output: List[int] = []
+        self.char_output: List[str] = []
+        self.inputs: List[int] = list(inputs or [])
+        self.halted = False
+
+    # -- trap services -----------------------------------------------------
+
+    def _service_trap(self, cpu: Cpu, code: int) -> bool:
+        if code == TRAP_HALT:
+            self.halted = True
+            raise Halted()
+        if code == TRAP_WRITE_INT:
+            self.output.append(s32(cpu.regs[1]))
+            return True
+        if code == TRAP_WRITE_CHAR:
+            self.char_output.append(chr(cpu.regs[1] & 0xFF))
+            return True
+        if code == TRAP_READ_INT:
+            cpu.regs[1] = self.inputs.pop(0) & 0xFFFFFFFF if self.inputs else 0
+            return True
+        return False
+
+    # -- running --------------------------------------------------------------
+
+    def run(self, max_steps: int = 5_000_000) -> CpuStats:
+        """Run until the program halts (trap #0); returns CPU statistics.
+
+        Raises :class:`TimeoutError` when the step budget is exhausted
+        -- runaway programs are bugs, and tests should see them.
+        """
+        for _ in range(max_steps):
+            try:
+                self.cpu.step()
+            except Halted:
+                return self.cpu.stats
+        raise TimeoutError(f"program did not halt within {max_steps} steps")
+
+    @property
+    def stats(self) -> CpuStats:
+        return self.cpu.stats
+
+    @property
+    def output_text(self) -> str:
+        """Characters written via trap #2, as a string."""
+        return "".join(self.char_output)
+
+    def word_at(self, symbol_or_addr) -> int:
+        """Read a data word by symbol name or address (signed view)."""
+        addr = (
+            self.program.symbol(symbol_or_addr)
+            if isinstance(symbol_or_addr, str)
+            else symbol_or_addr
+        )
+        return s32(self.memory.peek(addr))
+
+
+def run_source(
+    source: str,
+    hazard_mode: HazardMode = HazardMode.BARE,
+    inputs: Optional[Iterable[int]] = None,
+    max_steps: int = 5_000_000,
+) -> Machine:
+    """Assemble and run assembly source; returns the finished machine."""
+    from ..asm.assembler import assemble
+
+    machine = Machine(assemble(source), hazard_mode=hazard_mode, inputs=inputs)
+    machine.run(max_steps)
+    return machine

@@ -1,0 +1,172 @@
+"""The *surprise register* -- the machine's entire miscellaneous state.
+
+Paper, section 3.2: "all the miscellaneous state of the processor is
+encapsulated into a single surprise register -- the MIPS equivalent of a
+processor status word.  The surprise register includes the current and
+previous privilege levels, and enable bits for interrupts, overflow
+traps and memory mapping.  Finally, there are two fields that specify
+the exact nature of the last exception."
+
+Bit layout (32 bits)::
+
+    31..24   (reserved)
+    23..12   minor cause (12 bits: trap code / fault detail)
+    11..8    major cause (ExceptionCause)
+     7       previous mapping enable
+     6       previous interrupt enable
+     5       previous privilege (1 = supervisor)
+     4       (reserved)
+     3       mapping enable
+     2       overflow-trap enable
+     1       interrupt enable
+     0       current privilege (1 = supervisor)
+
+On exception entry the hardware copies the *current* privilege, interrupt
+and mapping bits into the *previous* fields, forces supervisor mode with
+interrupts and mapping off, and loads the two cause fields.  The kernel's
+return-from-exception path restores from the previous fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .faults import ExceptionCause
+
+_PRIV = 1 << 0
+_INT_ENABLE = 1 << 1
+_OVF_ENABLE = 1 << 2
+_MAP_ENABLE = 1 << 3
+_PREV_OVF = 1 << 4
+_PREV_PRIV = 1 << 5
+_PREV_INT = 1 << 6
+_PREV_MAP = 1 << 7
+_MAJOR_SHIFT = 8
+_MAJOR_MASK = 0xF
+_MINOR_SHIFT = 12
+_MINOR_MASK = 0xFFF
+
+
+@dataclass
+class SurpriseRegister:
+    """Mutable view of the surprise register with named accessors."""
+
+    value: int = _PRIV  # machines reset into supervisor mode
+
+    # -- current state bits -------------------------------------------------
+
+    @property
+    def supervisor(self) -> bool:
+        """Current privilege level (True = supervisor)."""
+        return bool(self.value & _PRIV)
+
+    @supervisor.setter
+    def supervisor(self, on: bool) -> None:
+        self._set_bit(_PRIV, on)
+
+    @property
+    def interrupts_enabled(self) -> bool:
+        return bool(self.value & _INT_ENABLE)
+
+    @interrupts_enabled.setter
+    def interrupts_enabled(self, on: bool) -> None:
+        self._set_bit(_INT_ENABLE, on)
+
+    @property
+    def overflow_traps_enabled(self) -> bool:
+        return bool(self.value & _OVF_ENABLE)
+
+    @overflow_traps_enabled.setter
+    def overflow_traps_enabled(self, on: bool) -> None:
+        self._set_bit(_OVF_ENABLE, on)
+
+    @property
+    def mapping_enabled(self) -> bool:
+        return bool(self.value & _MAP_ENABLE)
+
+    @mapping_enabled.setter
+    def mapping_enabled(self, on: bool) -> None:
+        self._set_bit(_MAP_ENABLE, on)
+
+    # -- previous state bits ------------------------------------------------
+
+    @property
+    def previous_supervisor(self) -> bool:
+        return bool(self.value & _PREV_PRIV)
+
+    @property
+    def previous_interrupts(self) -> bool:
+        return bool(self.value & _PREV_INT)
+
+    @property
+    def previous_mapping(self) -> bool:
+        return bool(self.value & _PREV_MAP)
+
+    @property
+    def previous_overflow(self) -> bool:
+        return bool(self.value & _PREV_OVF)
+
+    # -- cause fields --------------------------------------------------------
+
+    @property
+    def major_cause(self) -> ExceptionCause:
+        return ExceptionCause((self.value >> _MAJOR_SHIFT) & _MAJOR_MASK)
+
+    @property
+    def minor_cause(self) -> int:
+        return (self.value >> _MINOR_SHIFT) & _MINOR_MASK
+
+    # -- transitions ----------------------------------------------------------
+
+    def enter_exception(self, cause: ExceptionCause, minor: int = 0) -> None:
+        """The hardware part of the surprise sequence.
+
+        Saves current privilege/interrupt/mapping into the previous
+        fields, forces supervisor with interrupts and mapping off, and
+        records the cause pair.
+        """
+        previous = 0
+        if self.supervisor:
+            previous |= _PREV_PRIV
+        if self.interrupts_enabled:
+            previous |= _PREV_INT
+        if self.mapping_enabled:
+            previous |= _PREV_MAP
+        if self.overflow_traps_enabled:
+            previous |= _PREV_OVF
+        # the kernel runs supervisor, unmapped, interrupts and overflow
+        # traps off; everything else is remembered in the previous fields
+        self.value = (
+            previous
+            | _PRIV
+            | (int(cause) & _MAJOR_MASK) << _MAJOR_SHIFT
+            | (minor & _MINOR_MASK) << _MINOR_SHIFT
+        )
+
+    def restore_previous(self) -> None:
+        """The return-from-exception transition: previous -> current."""
+        self.supervisor = self.previous_supervisor
+        self.interrupts_enabled = self.previous_interrupts
+        self.mapping_enabled = self.previous_mapping
+        self.overflow_traps_enabled = self.previous_overflow
+
+    def _set_bit(self, mask: int, on: bool) -> None:
+        if on:
+            self.value |= mask
+        else:
+            self.value &= ~mask & 0xFFFFFFFF
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flags = []
+        if self.supervisor:
+            flags.append("sup")
+        if self.interrupts_enabled:
+            flags.append("int")
+        if self.overflow_traps_enabled:
+            flags.append("ovf")
+        if self.mapping_enabled:
+            flags.append("map")
+        return (
+            f"<surprise {'|'.join(flags) or 'user'} "
+            f"cause={self.major_cause.name}/{self.minor_cause}>"
+        )

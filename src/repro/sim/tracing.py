@@ -1,0 +1,71 @@
+"""Execution tracing: a disassembling single-stepper.
+
+A thin layer over :class:`~repro.sim.cpu.Cpu` for debugging compiled
+code and the kernel: each step yields the PC, the decoded instruction
+word, and the registers it changed.  Used by the test suite to assert
+fine-grained pipeline behaviour and by humans chasing miscompiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..isa.words import InstructionWord
+from .cpu import Cpu
+from .faults import Halted
+
+
+@dataclass
+class TraceRecord:
+    """One executed instruction word."""
+
+    step: int
+    pc: int
+    word: InstructionWord
+    #: register number -> value after this word committed
+    writes: Dict[int, int]
+    #: True when the word carried a taken control transfer
+    branched: bool
+
+    def __repr__(self) -> str:
+        changes = " ".join(f"r{n}={v:#x}" for n, v in sorted(self.writes.items()))
+        marker = " ->" if self.branched else ""
+        return f"{self.step:6d}  {self.pc:6d}  {self.word!r}{marker}  {changes}"
+
+
+def trace(cpu: Cpu, max_steps: int = 1000) -> Iterator[TraceRecord]:
+    """Step the CPU, yielding a record per executed word.
+
+    Stops on :class:`Halted` (swallowed) or after ``max_steps``.  Other
+    faults propagate -- a tracer must not hide crashes.
+    """
+    for step in range(max_steps):
+        pc = cpu.pc
+        before = list(cpu.regs)
+        taken_before = cpu.stats.branches_taken
+        try:
+            word = cpu.fetch(pc)
+        except Exception:
+            word = None  # the step below will surface the fault
+        try:
+            cpu.step()
+        except Halted:
+            return
+        writes = {
+            n: after
+            for n, (prev, after) in enumerate(zip(before, cpu.regs))
+            if prev != after
+        }
+        yield TraceRecord(
+            step,
+            pc,
+            word if word is not None else InstructionWord.nop(),
+            writes,
+            cpu.stats.branches_taken > taken_before,
+        )
+
+
+def format_trace(records: List[TraceRecord]) -> str:
+    """A printable listing of trace records."""
+    return "\n".join(repr(record) for record in records)

@@ -1,0 +1,18 @@
+"""The workload corpus: mini-Pascal programs matching the paper's data set."""
+
+from .corpus import CORPUS, EXPECTED_OUTPUT, QUICK_PROGRAMS, TEXT_HEAVY
+from .fib import FIB_ITERATIVE, FIB_RECURSIVE, fib
+from .puzzle import PUZZLE0, PUZZLE1, puzzle_source
+
+__all__ = [
+    "CORPUS",
+    "EXPECTED_OUTPUT",
+    "FIB_ITERATIVE",
+    "FIB_RECURSIVE",
+    "PUZZLE0",
+    "PUZZLE1",
+    "QUICK_PROGRAMS",
+    "TEXT_HEAVY",
+    "fib",
+    "puzzle_source",
+]

@@ -1,0 +1,867 @@
+"""The workload corpus.
+
+The paper's empirical tables come from "a collection of Pascal programs
+including compilers, optimizers, and VLSI design aid software; the
+programs are reasonably involved with text handling, and little or no
+compute intensive (e.g., floating point) tasks are included."
+
+This corpus reproduces that character: a scanner (compiler-like), a
+symbol table (compiler-like), text utilities (string handling, word
+counting), VLSI design-aid work (rectangle overlap checking), plus the
+classic integer kernels (sieve, sorting) and the Table 11 benchmarks.
+
+Every program is deterministic and prints values checked against the
+Python oracles in ``EXPECTED_OUTPUT``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .fib import FIB_ITERATIVE, FIB_RECURSIVE, fib
+from .puzzle import puzzle_source
+
+# ---------------------------------------------------------------------------
+# scanner: a tokenizer over a packed character buffer (compiler-like)
+# ---------------------------------------------------------------------------
+
+SCANNER = """
+program scanner;
+const buflen = 115;
+type buffer = array [0..127] of char;
+var buf: buffer;
+    pos, start, idents, numbers, symbols, keywords: integer;
+    ch: char;
+
+procedure fill;
+var i: integer;
+begin
+  { 'if x1 > 42 then y := y + 3 else begin z9 := 0 end ...' }
+  buf[0] := 'i'; buf[1] := 'f'; buf[2] := ' ';
+  buf[3] := 'x'; buf[4] := '1'; buf[5] := ' ';
+  buf[6] := '>'; buf[7] := ' ';
+  buf[8] := '4'; buf[9] := '2'; buf[10] := ' ';
+  buf[11] := 't'; buf[12] := 'h'; buf[13] := 'e'; buf[14] := 'n'; buf[15] := ' ';
+  buf[16] := 'y'; buf[17] := ' ';
+  buf[18] := ':'; buf[19] := '='; buf[20] := ' ';
+  buf[21] := 'y'; buf[22] := ' ';
+  buf[23] := '+'; buf[24] := ' ';
+  buf[25] := '3'; buf[26] := ' ';
+  buf[27] := 'e'; buf[28] := 'l'; buf[29] := 's'; buf[30] := 'e'; buf[31] := ' ';
+  buf[32] := 'b'; buf[33] := 'e'; buf[34] := 'g'; buf[35] := 'i'; buf[36] := 'n'; buf[37] := ' ';
+  buf[38] := 'z'; buf[39] := '9'; buf[40] := ' ';
+  buf[41] := ':'; buf[42] := '='; buf[43] := ' ';
+  buf[44] := '0'; buf[45] := ' ';
+  buf[46] := 'e'; buf[47] := 'n'; buf[48] := 'd'; buf[49] := ' ';
+  for i := 50 to buflen - 1 do begin
+    { repeat a tail: 'ab 12 + ' }
+    pos := i mod 8;
+    if pos = 0 then buf[i] := 'a';
+    if pos = 1 then buf[i] := 'b';
+    if pos = 2 then buf[i] := ' ';
+    if pos = 3 then buf[i] := '1';
+    if pos = 4 then buf[i] := '2';
+    if pos = 5 then buf[i] := ' ';
+    if pos = 6 then buf[i] := '+';
+    if pos = 7 then buf[i] := ' '
+  end
+end;
+
+function isletter(c: char): boolean;
+begin
+  isletter := (c >= 'a') and (c <= 'z')
+end;
+
+function isdigit(c: char): boolean;
+begin
+  isdigit := (c >= '0') and (c <= '9')
+end;
+
+function iskeyword(first: char; len: integer): boolean;
+begin
+  { crude keyword filter: if/then/else/begin/end shapes }
+  iskeyword := false;
+  if (first = 'i') and (len = 2) then iskeyword := true;
+  if (first = 't') and (len = 4) then iskeyword := true;
+  if (first = 'e') and (len = 4) then iskeyword := true;
+  if (first = 'b') and (len = 5) then iskeyword := true;
+  if (first = 'e') and (len = 3) then iskeyword := true
+end;
+
+begin
+  fill;
+  idents := 0; numbers := 0; symbols := 0; keywords := 0;
+  pos := 0;
+  while pos < buflen do begin
+    ch := buf[pos];
+    if isletter(ch) then begin
+      start := pos;
+      while (pos < buflen) and (isletter(buf[pos]) or isdigit(buf[pos])) do
+        pos := pos + 1;
+      if iskeyword(ch, pos - start) then
+        keywords := keywords + 1
+      else
+        idents := idents + 1
+    end else if isdigit(ch) then begin
+      while (pos < buflen) and isdigit(buf[pos]) do pos := pos + 1;
+      numbers := numbers + 1
+    end else begin
+      if ch <> ' ' then symbols := symbols + 1;
+      pos := pos + 1
+    end
+  end;
+  writeln(keywords);
+  writeln(idents);
+  writeln(numbers);
+  writeln(symbols)
+end.
+"""
+
+
+def _scanner_expected() -> List[int]:
+    buf = list("if x1 > 42 then y := y + 3 else begin z9 := 0 end ")
+    for i in range(50, 115):
+        buf.append("ab 12 + "[i % 8])
+    idents = numbers = symbols = keywords = 0
+    pos = 0
+    buflen = 115
+    while pos < buflen:
+        ch = buf[pos]
+        if ch.isalpha():
+            start = pos
+            while pos < buflen and (buf[pos].isalpha() or buf[pos].isdigit()):
+                pos += 1
+            length = pos - start
+            if (ch, length) in (("i", 2), ("t", 4), ("e", 4), ("b", 5), ("e", 3)):
+                keywords += 1
+            else:
+                idents += 1
+        elif ch.isdigit():
+            while pos < buflen and buf[pos].isdigit():
+                pos += 1
+            numbers += 1
+        else:
+            if ch != " ":
+                symbols += 1
+            pos += 1
+    return [keywords, idents, numbers, symbols]
+
+
+# ---------------------------------------------------------------------------
+# vlsi: rectangle overlap checking (design-rule-check flavored)
+# ---------------------------------------------------------------------------
+
+VLSI_RECTS = """
+program vlsirects;
+const nrects = 24;
+type rect = record x0, y0, x1, y1, layer: integer end;
+var rects: array [0..23] of rect;
+    i, j, overlaps, area, seed: integer;
+
+function nextrand: integer;
+begin
+  seed := (seed * 109 + 89) mod 1024;
+  nextrand := seed
+end;
+
+function overlap(a, b: integer): boolean;
+var ok: boolean;
+begin
+  ok := true;
+  if rects[a].x1 <= rects[b].x0 then ok := false;
+  if rects[b].x1 <= rects[a].x0 then ok := false;
+  if rects[a].y1 <= rects[b].y0 then ok := false;
+  if rects[b].y1 <= rects[a].y0 then ok := false;
+  if rects[a].layer <> rects[b].layer then ok := false;
+  overlap := ok
+end;
+
+begin
+  seed := 7;
+  for i := 0 to nrects - 1 do begin
+    rects[i].x0 := nextrand mod 100;
+    rects[i].y0 := nextrand mod 100;
+    rects[i].x1 := rects[i].x0 + 1 + nextrand mod 20;
+    rects[i].y1 := rects[i].y0 + 1 + nextrand mod 20;
+    rects[i].layer := nextrand mod 3
+  end;
+  overlaps := 0;
+  for i := 0 to nrects - 2 do
+    for j := i + 1 to nrects - 1 do
+      if overlap(i, j) then overlaps := overlaps + 1;
+  area := 0;
+  for i := 0 to nrects - 1 do
+    area := area + (rects[i].x1 - rects[i].x0) * (rects[i].y1 - rects[i].y0);
+  writeln(overlaps);
+  writeln(area)
+end.
+"""
+
+
+def _vlsi_expected() -> List[int]:
+    seed = 7
+
+    def nextrand() -> int:
+        nonlocal seed
+        seed = (seed * 109 + 89) % 1024
+        return seed
+
+    rects = []
+    for _ in range(24):
+        x0 = nextrand() % 100
+        y0 = nextrand() % 100
+        x1 = x0 + 1 + nextrand() % 20
+        y1 = y0 + 1 + nextrand() % 20
+        layer = nextrand() % 3
+        rects.append((x0, y0, x1, y1, layer))
+    overlaps = 0
+    for i in range(23):
+        for j in range(i + 1, 24):
+            a, b = rects[i], rects[j]
+            ok = not (
+                a[2] <= b[0] or b[2] <= a[0] or a[3] <= b[1] or b[3] <= a[1]
+            ) and a[4] == b[4]
+            if ok:
+                overlaps += 1
+    area = sum((r[2] - r[0]) * (r[3] - r[1]) for r in rects)
+    return [overlaps, area]
+
+
+# ---------------------------------------------------------------------------
+# strings: copy / compare / reverse / search over packed char arrays
+# ---------------------------------------------------------------------------
+
+STRINGS = """
+program strings;
+const n = 26;
+type line = packed array [0..31] of char;
+var a, b: line;
+    i, matches, firstdiff: integer;
+
+procedure copyline(var src, dst: line; len: integer);
+var i: integer;
+begin
+  for i := 0 to len - 1 do dst[i] := src[i]
+end;
+
+procedure reverse(var s: line; len: integer);
+var i: integer;
+    t: char;
+begin
+  for i := 0 to (len div 2) - 1 do begin
+    t := s[i];
+    s[i] := s[len - 1 - i];
+    s[len - 1 - i] := t
+  end
+end;
+
+function countchar(var s: line; len: integer; c: char): integer;
+var i, k: integer;
+begin
+  k := 0;
+  for i := 0 to len - 1 do
+    if s[i] = c then k := k + 1;
+  countchar := k
+end;
+
+begin
+  for i := 0 to n - 1 do a[i] := chr(ord('a') + i);
+  copyline(a, b, n);
+  reverse(b, n);
+  matches := 0;
+  for i := 0 to n - 1 do
+    if a[i] = b[i] then matches := matches + 1;
+  firstdiff := -1;
+  i := 0;
+  while (firstdiff < 0) and (i < n) do begin
+    if a[i] <> b[i] then firstdiff := i;
+    i := i + 1
+  end;
+  writeln(matches);
+  writeln(firstdiff);
+  writeln(countchar(b, n, 'a'));
+  writeln(ord(b[0]) - ord('a'))
+end.
+"""
+
+#: a..z reversed shares no positions with itself (even length), differs at 0,
+#: contains one 'a', and starts with 'z' (25 letters after 'a')
+_STRINGS_EXPECTED = [0, 0, 1, 25]
+
+
+# ---------------------------------------------------------------------------
+# sort + search
+# ---------------------------------------------------------------------------
+
+SORT = """
+program sorter;
+const n = 64;
+var a: array [0..63] of integer;
+    i, j, key, seed, found, checksum: integer;
+
+function nextrand: integer;
+begin
+  seed := (seed * 75 + 74) mod 8191;
+  nextrand := seed
+end;
+
+function bsearch(key: integer): integer;
+var lo, hi, mid, at: integer;
+begin
+  lo := 0; hi := n - 1; at := -1;
+  while lo <= hi do begin
+    mid := (lo + hi) div 2;
+    if a[mid] = key then begin
+      at := mid;
+      hi := lo - 1
+    end else if a[mid] < key then
+      lo := mid + 1
+    else
+      hi := mid - 1
+  end;
+  bsearch := at
+end;
+
+begin
+  seed := 11;
+  for i := 0 to n - 1 do a[i] := nextrand;
+  { insertion sort }
+  for i := 1 to n - 1 do begin
+    key := a[i];
+    j := i - 1;
+    while (j >= 0) and (a[j] > key) do begin
+      a[j + 1] := a[j];
+      j := j - 1
+    end;
+    a[j + 1] := key
+  end;
+  checksum := 0;
+  for i := 0 to n - 1 do checksum := checksum + a[i] * (i mod 7);
+  found := bsearch(a[17]);
+  writeln(a[0]);
+  writeln(a[63]);
+  writeln(checksum);
+  writeln(found)
+end.
+"""
+
+
+def _sort_expected() -> List[int]:
+    seed = 11
+    values = []
+    for _ in range(64):
+        seed = (seed * 75 + 74) % 8191
+        values.append(seed)
+    values.sort()
+    checksum = sum(v * (i % 7) for i, v in enumerate(values))
+    key = values[17]
+    found = -1
+    lo, hi = 0, 63
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        if values[mid] == key:
+            found = mid
+            hi = lo - 1
+        elif values[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return [values[0], values[63], checksum, found]
+
+
+# ---------------------------------------------------------------------------
+# sieve of Eratosthenes (boolean array)
+# ---------------------------------------------------------------------------
+
+SIEVE = """
+program sieve;
+const n = 500;
+var flags: array [0..500] of boolean;
+    i, k, count, largest: integer;
+begin
+  for i := 0 to n do flags[i] := true;
+  flags[0] := false;
+  flags[1] := false;
+  i := 2;
+  while i * i <= n do begin
+    if flags[i] then begin
+      k := i * i;
+      while k <= n do begin
+        flags[k] := false;
+        k := k + i
+      end
+    end;
+    i := i + 1
+  end;
+  count := 0;
+  largest := 0;
+  for i := 2 to n do
+    if flags[i] then begin
+      count := count + 1;
+      largest := i
+    end;
+  writeln(count);
+  writeln(largest)
+end.
+"""
+
+
+def _sieve_expected() -> List[int]:
+    n = 500
+    flags = [True] * (n + 1)
+    flags[0] = flags[1] = False
+    i = 2
+    while i * i <= n:
+        if flags[i]:
+            for k in range(i * i, n + 1, i):
+                flags[k] = False
+        i += 1
+    primes = [i for i in range(2, n + 1) if flags[i]]
+    return [len(primes), primes[-1]]
+
+
+# ---------------------------------------------------------------------------
+# hashsym: an open-addressing symbol table over short char keys
+# ---------------------------------------------------------------------------
+
+HASHSYM = """
+program hashsym;
+const tsize = 128;
+      nsyms = 60;
+var keys: packed array [0..511] of char;  { 4 chars per symbol slot }
+    table: array [0..127] of integer;     { -1 empty, else symbol id }
+    values: array [0..127] of integer;
+    i, inserted, probes, hits, seed: integer;
+
+function nextrand: integer;
+begin
+  seed := (seed * 109 + 89) mod 1024;
+  nextrand := seed
+end;
+
+function hash(sym: integer): integer;
+var h, k: integer;
+begin
+  h := 0;
+  for k := 0 to 3 do
+    h := (h * 31 + ord(keys[sym * 4 + k])) mod tsize;
+  hash := h
+end;
+
+function samekey(a, b: integer): boolean;
+var k: integer;
+    same: boolean;
+begin
+  same := true;
+  for k := 0 to 3 do
+    if keys[a * 4 + k] <> keys[b * 4 + k] then same := false;
+  samekey := same
+end;
+
+function lookup(sym: integer): integer;
+var h, at: integer;
+    stop: boolean;
+begin
+  h := hash(sym);
+  at := -1;
+  stop := false;
+  while not stop do begin
+    probes := probes + 1;
+    if table[h] = -1 then
+      stop := true
+    else if samekey(table[h], sym) then begin
+      at := h;
+      stop := true
+    end else
+      h := (h + 1) mod tsize
+  end;
+  lookup := at
+end;
+
+procedure insert(sym: integer);
+var h: integer;
+begin
+  h := lookup(sym);
+  if h = -1 then begin
+    h := hash(sym);
+    while table[h] <> -1 do h := (h + 1) mod tsize;
+    table[h] := sym;
+    values[h] := sym * 3;
+    inserted := inserted + 1
+  end
+end;
+
+begin
+  seed := 5;
+  probes := 0;
+  inserted := 0;
+  hits := 0;
+  for i := 0 to nsyms - 1 do begin
+    keys[i * 4 + 0] := chr(ord('a') + nextrand mod 26);
+    keys[i * 4 + 1] := chr(ord('a') + nextrand mod 26);
+    keys[i * 4 + 2] := chr(ord('a') + nextrand mod 13);
+    keys[i * 4 + 3] := chr(ord('a') + nextrand mod 7)
+  end;
+  for i := 0 to tsize - 1 do table[i] := -1;
+  for i := 0 to nsyms - 1 do insert(i);
+  for i := 0 to nsyms - 1 do
+    if lookup(i) >= 0 then hits := hits + 1;
+  writeln(inserted);
+  writeln(hits);
+  writeln(probes)
+end.
+"""
+
+
+def _hashsym_expected() -> List[int]:
+    seed = 5
+
+    def nextrand() -> int:
+        nonlocal seed
+        seed = (seed * 109 + 89) % 1024
+        return seed
+
+    tsize, nsyms = 128, 60
+    keys: List[str] = []
+    for _ in range(nsyms):
+        a = chr(ord("a") + nextrand() % 26)
+        b = chr(ord("a") + nextrand() % 26)
+        c = chr(ord("a") + nextrand() % 13)
+        d = chr(ord("a") + nextrand() % 7)
+        keys.append(a + b + c + d)
+    table: List[int] = [-1] * tsize
+    probes = 0
+    inserted = 0
+
+    def hash_of(sym: int) -> int:
+        h = 0
+        for ch in keys[sym]:
+            h = (h * 31 + ord(ch)) % tsize
+        return h
+
+    def lookup(sym: int) -> int:
+        nonlocal probes
+        h = hash_of(sym)
+        while True:
+            probes += 1
+            if table[h] == -1:
+                return -1
+            if keys[table[h]] == keys[sym]:
+                return h
+            h = (h + 1) % tsize
+
+    def insert(sym: int) -> None:
+        nonlocal inserted
+        if lookup(sym) == -1:
+            h = hash_of(sym)
+            while table[h] != -1:
+                h = (h + 1) % tsize
+            table[h] = sym
+            inserted += 1
+
+    for i in range(nsyms):
+        insert(i)
+    hits = sum(1 for i in range(nsyms) if lookup(i) >= 0)
+    return [inserted, hits, probes]
+
+
+# ---------------------------------------------------------------------------
+# wordcount: lines/words/chars over a synthesized text buffer
+# ---------------------------------------------------------------------------
+
+WORDCOUNT = """
+program wordcount;
+const buflen = 200;
+type buffer = array [0..255] of char;
+var buf: buffer;
+    i, lines, words, chars, seed: integer;
+    inword: boolean;
+
+function nextrand: integer;
+begin
+  seed := (seed * 109 + 89) mod 1024;
+  nextrand := seed
+end;
+
+begin
+  seed := 3;
+  for i := 0 to buflen - 1 do begin
+    chars := nextrand mod 10;
+    if chars < 6 then
+      buf[i] := chr(ord('a') + chars)
+    else if chars < 9 then
+      buf[i] := ' '
+    else
+      buf[i] := chr(10)
+  end;
+  lines := 0; words := 0; chars := 0;
+  inword := false;
+  for i := 0 to buflen - 1 do begin
+    chars := chars + 1;
+    if buf[i] = chr(10) then begin
+      lines := lines + 1;
+      inword := false
+    end else if buf[i] = ' ' then
+      inword := false
+    else begin
+      if not inword then words := words + 1;
+      inword := true
+    end
+  end;
+  writeln(lines);
+  writeln(words);
+  writeln(chars)
+end.
+"""
+
+
+def _wordcount_expected() -> List[int]:
+    seed = 3
+
+    def nextrand() -> int:
+        nonlocal seed
+        seed = (seed * 109 + 89) % 1024
+        return seed
+
+    buf = []
+    for _ in range(200):
+        c = nextrand() % 10
+        if c < 6:
+            buf.append(chr(ord("a") + c))
+        elif c < 9:
+            buf.append(" ")
+        else:
+            buf.append("\n")
+    lines = words = chars = 0
+    inword = False
+    for ch in buf:
+        chars += 1
+        if ch == "\n":
+            lines += 1
+            inword = False
+        elif ch == " ":
+            inword = False
+        else:
+            if not inword:
+                words += 1
+            inword = True
+    return [lines, words, chars]
+
+
+# ---------------------------------------------------------------------------
+# logic: boolean-flag evaluation (design-aid flavored: rule checking
+# stores verdicts, exercising the paper's stored-boolean code paths)
+# ---------------------------------------------------------------------------
+
+LOGIC = """
+program logic;
+const n = 48;
+var width, spacing, layer, seed, i, violations, clean, waived: integer;
+    toowide, toonarrow, badspace, samelayer, violation, ok, waivable: boolean;
+
+function nextrand: integer;
+begin
+  seed := (seed * 109 + 89) mod 1024;
+  nextrand := seed
+end;
+
+begin
+  seed := 13;
+  violations := 0;
+  clean := 0;
+  waived := 0;
+  for i := 1 to n do begin
+    width := nextrand mod 40;
+    spacing := nextrand mod 12;
+    layer := nextrand mod 4;
+    toowide := width > 30;
+    toonarrow := width < 4;
+    badspace := (spacing < 3) and (layer <> 0);
+    samelayer := (layer = 1) or (layer = 2);
+    violation := toowide or toonarrow or badspace;
+    ok := not violation and (width >= 8);
+    waivable := violation and samelayer and (spacing >= 2);
+    if violation then violations := violations + 1;
+    if ok then clean := clean + 1;
+    if waivable then waived := waived + 1
+  end;
+  writeln(violations);
+  writeln(clean);
+  writeln(waived)
+end.
+"""
+
+
+def _logic_expected() -> List[int]:
+    seed = 13
+
+    def nextrand() -> int:
+        nonlocal seed
+        seed = (seed * 109 + 89) % 1024
+        return seed
+
+    violations = clean = waived = 0
+    for _ in range(48):
+        width = nextrand() % 40
+        spacing = nextrand() % 12
+        layer = nextrand() % 4
+        toowide = width > 30
+        toonarrow = width < 4
+        badspace = spacing < 3 and layer != 0
+        samelayer = layer in (1, 2)
+        violation = toowide or toonarrow or badspace
+        ok = not violation and width >= 8
+        waivable = violation and samelayer and spacing >= 2
+        if violation:
+            violations += 1
+        if ok:
+            clean += 1
+        if waivable:
+            waived += 1
+    return [violations, clean, waived]
+
+
+# ---------------------------------------------------------------------------
+# calc: a recursive-descent expression evaluator (the most compiler-like
+# member of the corpus: a parser walking a character buffer)
+# ---------------------------------------------------------------------------
+
+CALC = """
+program calc;
+const buflen = 40;
+type buffer = packed array [0..63] of char;
+var buf: buffer;
+    pos, results, total: integer;
+
+procedure fill;
+begin
+  { three expressions separated by ';':  }
+  {   2+3*4;  (2+3)*(4+5);  9-2-3+8*(1+1)  }
+  buf[0] := '2'; buf[1] := '+'; buf[2] := '3'; buf[3] := '*'; buf[4] := '4';
+  buf[5] := ';';
+  buf[6] := '('; buf[7] := '2'; buf[8] := '+'; buf[9] := '3'; buf[10] := ')';
+  buf[11] := '*'; buf[12] := '('; buf[13] := '4'; buf[14] := '+'; buf[15] := '5';
+  buf[16] := ')'; buf[17] := ';';
+  buf[18] := '9'; buf[19] := '-'; buf[20] := '2'; buf[21] := '-'; buf[22] := '3';
+  buf[23] := '+'; buf[24] := '8'; buf[25] := '*'; buf[26] := '('; buf[27] := '1';
+  buf[28] := '+'; buf[29] := '1'; buf[30] := ')'; buf[31] := ';';
+  buf[32] := '7'; buf[33] := '*'; buf[34] := '7'; buf[35] := '-'; buf[36] := '8';
+  buf[37] := '*'; buf[38] := '6'; buf[39] := ';'
+end;
+
+function peekch: char;
+begin
+  peekch := buf[pos]
+end;
+
+function parsefactor: integer;
+var value: integer;
+begin
+  if peekch = '(' then begin
+    pos := pos + 1;
+    value := parseexpr;
+    pos := pos + 1  { the ')' }
+  end else begin
+    value := ord(peekch) - ord('0');
+    pos := pos + 1
+  end;
+  parsefactor := value
+end;
+
+function parseterm: integer;
+var value: integer;
+begin
+  value := parsefactor;
+  while peekch = '*' do begin
+    pos := pos + 1;
+    value := value * parsefactor
+  end;
+  parseterm := value
+end;
+
+function parseexpr: integer;
+var value, rhs: integer;
+    op: char;
+begin
+  value := parseterm;
+  while (peekch = '+') or (peekch = '-') do begin
+    op := peekch;
+    pos := pos + 1;
+    rhs := parseterm;
+    if op = '+' then value := value + rhs else value := value - rhs
+  end;
+  parseexpr := value
+end;
+
+begin
+  fill;
+  pos := 0;
+  results := 0;
+  total := 0;
+  while pos < buflen do begin
+    total := total + parseexpr;
+    results := results + 1;
+    pos := pos + 1  { the ';' }
+  end;
+  writeln(results);
+  writeln(total)
+end.
+"""
+
+#: 2+3*4=14, (2+3)*(4+5)=45, 9-2-3+8*2=20, 7*7-8*6=1 -> 4 results, total 80
+_CALC_EXPECTED = [4, 14 + 45 + 20 + 1]
+
+
+# ---------------------------------------------------------------------------
+# the corpus registry
+# ---------------------------------------------------------------------------
+
+#: name -> mini-Pascal source
+CORPUS: Dict[str, str] = {
+    "scanner": SCANNER,
+    "vlsi_rects": VLSI_RECTS,
+    "strings": STRINGS,
+    "sort": SORT,
+    "sieve": SIEVE,
+    "hashsym": HASHSYM,
+    "wordcount": WORDCOUNT,
+    "logic": LOGIC,
+    "calc": CALC,
+    "fib_recursive": FIB_RECURSIVE,
+    "fib_iterative": FIB_ITERATIVE,
+    "puzzle0_quick": puzzle_source(0, limit=25),
+    "puzzle1_quick": puzzle_source(1, limit=25),
+}
+
+#: name -> expected integer outputs (oracles)
+EXPECTED_OUTPUT: Dict[str, List[int]] = {
+    "scanner": _scanner_expected(),
+    "vlsi_rects": _vlsi_expected(),
+    "strings": _STRINGS_EXPECTED,
+    "sort": _sort_expected(),
+    "sieve": _sieve_expected(),
+    "hashsym": _hashsym_expected(),
+    "wordcount": _wordcount_expected(),
+    "logic": _logic_expected(),
+    "calc": list(_CALC_EXPECTED),
+    "fib_recursive": [fib(16)],
+    "fib_iterative": [fib(40)],
+}
+
+#: the text-handling subset used for the reference-pattern tables
+TEXT_HEAVY = ("scanner", "strings", "hashsym", "wordcount", "calc")
+
+#: programs cheap enough to execute in simulator-bound test loops
+QUICK_PROGRAMS = (
+    "scanner",
+    "vlsi_rects",
+    "strings",
+    "sort",
+    "sieve",
+    "hashsym",
+    "wordcount",
+    "logic",
+    "calc",
+    "fib_recursive",
+    "fib_iterative",
+)

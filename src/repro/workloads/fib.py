@@ -1,0 +1,54 @@
+"""Fibonacci -- the first program of Table 11.
+
+Both the recursive version (the classic benchmark form) and an
+iterative one, each printing ``fib(N)``.
+"""
+
+FIB_RECURSIVE = """
+program fibonacci;
+const n = 16;
+var result: integer;
+
+function fib(k: integer): integer;
+begin
+  if k <= 1 then
+    fib := k
+  else
+    fib := fib(k - 1) + fib(k - 2)
+end;
+
+begin
+  result := fib(n);
+  writeln(result)
+end.
+"""
+
+FIB_ITERATIVE = """
+program fibiter;
+const n = 40;
+var a, b, t, i: integer;
+begin
+  a := 0;
+  b := 1;
+  for i := 2 to n do begin
+    t := a + b;
+    a := b;
+    b := t
+  end;
+  writeln(b)
+end.
+"""
+
+
+def fib(n: int) -> int:
+    """Reference implementation for test oracles."""
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+#: expected output of FIB_RECURSIVE (fib(16))
+FIB_RECURSIVE_EXPECTED = fib(16)
+#: expected output of FIB_ITERATIVE (fib(40))
+FIB_ITERATIVE_EXPECTED = fib(40)

@@ -1,0 +1,290 @@
+"""The Puzzle benchmark (Baskett) -- Table 11's other two programs.
+
+Reference [2] of the paper: "Baskett, F. Puzzle: an informal compute
+bound benchmark.  Widely circulated and run."  A 5x5x5 cube is packed
+with 13+3+1+1 pieces by exhaustive search over an 8x8x8 coordinate
+space; the canonical success count is ``kount = 2005``.
+
+Two implementations, as in the paper ("two implementations of the
+Puzzle benchmark"):
+
+- **Puzzle 0** -- the subscripted version: the piece shapes live in a
+  two-dimensional array ``p[piece][cell]``;
+- **Puzzle 1** -- the pointer-style version: the shapes are flattened
+  into one vector indexed by a computed base, the way the C pointer
+  version strides through memory.
+
+``puzzle_source(variant, limit)`` emits mini-Pascal text.  ``limit``
+bounds the search (``trial`` succeeds once ``kount`` reaches it) so
+simulator-bound tests stay fast; ``limit = 0`` runs the full search.
+"""
+
+from __future__ import annotations
+
+_COMMON_DECLS = """
+const d = 8;
+      size = 511;
+      typemax = 12;
+      classmax = 3;
+      limit = {limit};
+var puzzle: array [0..511] of boolean;
+    piececount: array [0..3] of integer;
+    pclass: array [0..12] of integer;
+    piecemax: array [0..12] of integer;
+    m, n, kount: integer;
+    ok: boolean;
+"""
+
+# piece definitions: (imax, jmax, kmax, class)
+_PIECES = [
+    (3, 1, 0, 0),
+    (1, 0, 3, 0),
+    (0, 3, 1, 0),
+    (1, 3, 0, 0),
+    (3, 0, 1, 0),
+    (0, 1, 3, 0),
+    (2, 0, 0, 1),
+    (0, 2, 0, 1),
+    (0, 0, 2, 1),
+    (1, 1, 0, 2),
+    (1, 0, 1, 2),
+    (0, 1, 1, 2),
+    (1, 1, 1, 3),
+]
+
+_PIECE_COUNTS = [13, 3, 1, 1]
+
+
+def _init_body(indexer) -> str:
+    """The puzzle initialization, shared by both variants.
+
+    ``indexer(piece, cell_expr)`` renders an assignment target for the
+    shape array.
+    """
+    lines = []
+    lines.append("  for m := 0 to size do puzzle[m] := true;")
+    lines.append("  for i := 1 to 5 do")
+    lines.append("    for j := 1 to 5 do")
+    lines.append("      for k := 1 to 5 do")
+    lines.append("        puzzle[i + d * (j + d * k)] := false;")
+    lines.append("  for i := 0 to typemax do")
+    lines.append("    for m := 0 to size do")
+    lines.append(f"      {indexer('i', 'm')} := false;")
+    for index, (imax, jmax, kmax, pclass) in enumerate(_PIECES):
+        lines.append(f"  for i := 0 to {imax} do")
+        lines.append(f"    for j := 0 to {jmax} do")
+        lines.append(f"      for k := 0 to {kmax} do")
+        lines.append(
+            f"        {indexer(str(index), 'i + d * (j + d * k)')} := true;"
+        )
+        lines.append(f"  pclass[{index}] := {pclass};")
+        lines.append(
+            f"  piecemax[{index}] := {imax} + d * {jmax} + d * d * {kmax};"
+        )
+    for pclass, count in enumerate(_PIECE_COUNTS):
+        lines.append(f"  piececount[{pclass}] := {count};")
+    return "\n".join(lines)
+
+
+def _subscript_source(limit: int) -> str:
+    decls = _COMMON_DECLS.format(limit=limit)
+    init = _init_body(lambda piece, cell: f"p[{piece}][{cell}]")
+    return f"""
+program puzzle0;
+{decls}
+    p: array [0..12] of array [0..511] of boolean;
+
+function fit(i, j: integer): boolean;
+var k: integer;
+    good: boolean;
+begin
+  good := true;
+  k := 0;
+  while good and (k <= piecemax[i]) do begin
+    if p[i][k] then
+      if puzzle[j + k] then good := false;
+    k := k + 1
+  end;
+  fit := good
+end;
+
+function place(i, j: integer): integer;
+var k, at: integer;
+begin
+  for k := 0 to piecemax[i] do
+    if p[i][k] then puzzle[j + k] := true;
+  piececount[pclass[i]] := piececount[pclass[i]] - 1;
+  at := 0;
+  k := j;
+  while (at = 0) and (k <= size) do begin
+    if not puzzle[k] then at := k;
+    k := k + 1
+  end;
+  place := at
+end;
+
+procedure unplace(i, j: integer);
+var k: integer;
+begin
+  for k := 0 to piecemax[i] do
+    if p[i][k] then puzzle[j + k] := false;
+  piececount[pclass[i]] := piececount[pclass[i]] + 1
+end;
+
+function trial(j: integer): boolean;
+var i, k: integer;
+    done: boolean;
+begin
+  done := false;
+  if limit > 0 then
+    if kount >= limit then done := true;
+  i := 0;
+  while (not done) and (i <= typemax) do begin
+    if piececount[pclass[i]] <> 0 then
+      if fit(i, j) then begin
+        k := place(i, j);
+        if trial(k) or (k = 0) then begin
+          kount := kount + 1;
+          done := true
+        end else
+          unplace(i, j)
+      end;
+    i := i + 1
+  end;
+  if not done then kount := kount + 1;
+  trial := done
+end;
+
+procedure init;
+var i, j, k: integer;
+begin
+{init}
+end;
+
+begin
+  init;
+  kount := 0;
+  m := 1 + d * (1 + d);
+  ok := fit(0, m);
+  if ok then begin
+    n := place(0, m);
+    if trial(n) then
+      writeln(kount)
+    else
+      writeln(-1)
+  end else
+    writeln(-2)
+end.
+"""
+
+
+def _pointer_source(limit: int) -> str:
+    decls = _COMMON_DECLS.format(limit=limit)
+    init = _init_body(lambda piece, cell: f"pflat[({piece}) * 512 + ({cell})]")
+    return f"""
+program puzzle1;
+{decls}
+    pflat: array [0..6655] of boolean;
+
+function fit(i, j: integer): boolean;
+var k, pb: integer;
+    good: boolean;
+begin
+  good := true;
+  pb := i * 512;
+  k := 0;
+  while good and (k <= piecemax[i]) do begin
+    if pflat[pb + k] then
+      if puzzle[j + k] then good := false;
+    k := k + 1
+  end;
+  fit := good
+end;
+
+function place(i, j: integer): integer;
+var k, at, pb: integer;
+begin
+  pb := i * 512;
+  for k := 0 to piecemax[i] do
+    if pflat[pb + k] then puzzle[j + k] := true;
+  piececount[pclass[i]] := piececount[pclass[i]] - 1;
+  at := 0;
+  k := j;
+  while (at = 0) and (k <= size) do begin
+    if not puzzle[k] then at := k;
+    k := k + 1
+  end;
+  place := at
+end;
+
+procedure unplace(i, j: integer);
+var k, pb: integer;
+begin
+  pb := i * 512;
+  for k := 0 to piecemax[i] do
+    if pflat[pb + k] then puzzle[j + k] := false;
+  piececount[pclass[i]] := piececount[pclass[i]] + 1
+end;
+
+function trial(j: integer): boolean;
+var i, k: integer;
+    done: boolean;
+begin
+  done := false;
+  if limit > 0 then
+    if kount >= limit then done := true;
+  i := 0;
+  while (not done) and (i <= typemax) do begin
+    if piececount[pclass[i]] <> 0 then
+      if fit(i, j) then begin
+        k := place(i, j);
+        if trial(k) or (k = 0) then begin
+          kount := kount + 1;
+          done := true
+        end else
+          unplace(i, j)
+      end;
+    i := i + 1
+  end;
+  if not done then kount := kount + 1;
+  trial := done
+end;
+
+procedure init;
+var i, j, k: integer;
+begin
+{init}
+end;
+
+begin
+  init;
+  kount := 0;
+  m := 1 + d * (1 + d);
+  ok := fit(0, m);
+  if ok then begin
+    n := place(0, m);
+    if trial(n) then
+      writeln(kount)
+    else
+      writeln(-1)
+  end else
+    writeln(-2)
+end.
+"""
+
+
+def puzzle_source(variant: int = 0, limit: int = 0) -> str:
+    """Mini-Pascal source for Puzzle ``variant`` (0 subscript, 1 pointer).
+
+    ``limit > 0`` makes ``trial`` succeed once ``kount`` reaches the
+    limit, bounding the search for simulator-bound runs.
+    """
+    if variant == 0:
+        return _subscript_source(limit)
+    if variant == 1:
+        return _pointer_source(limit)
+    raise ValueError(f"no puzzle variant {variant}")
+
+
+PUZZLE0 = puzzle_source(0)
+PUZZLE1 = puzzle_source(1)

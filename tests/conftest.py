@@ -1,0 +1,37 @@
+"""Shared fixtures: compiled programs are expensive, so cache them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_source
+from repro.sim import HazardMode, Machine
+
+
+@pytest.fixture(scope="session")
+def compile_cache():
+    """Session-wide (source, options-key) -> CompiledProgram cache."""
+    cache = {}
+
+    def compile_cached(source, options=None, opt_level=None):
+        from repro.reorg import OptLevel
+
+        level = opt_level or OptLevel.BRANCH_DELAY
+        key = (source, repr(options), level)
+        if key not in cache:
+            cache[key] = compile_source(source, options, level)
+        return cache[key]
+
+    return compile_cached
+
+
+def run_program(compiled, inputs=None, hazard_mode=HazardMode.CHECKED, max_steps=30_000_000):
+    """Run a compiled program under the checking simulator."""
+    machine = Machine(compiled.program, hazard_mode=hazard_mode, inputs=inputs)
+    machine.run(max_steps)
+    return machine
+
+
+@pytest.fixture
+def run():
+    return run_program

@@ -1,0 +1,233 @@
+"""Analyses behind the tables: units plus corpus-level sanity."""
+
+import pytest
+
+from repro.analysis import (
+    AddressingCosts,
+    EvalStrategy,
+    OpCounts,
+    TABLE5,
+    analyze_cc_program,
+    corpus_distribution,
+    corpus_stats,
+    count_operators,
+    distribution,
+    expression_cost,
+    from_paper,
+    improvements,
+    measure_program,
+    overhead_sweep,
+    program_stats,
+    table6,
+)
+from repro.isa.immediates import ConstantClass
+from repro.lang import analyze
+from repro.reorg import ALL_LEVELS, OptLevel
+
+
+class TestConstantDistribution:
+    def test_bucketing(self):
+        dist = distribution([0, 0, 1, 2, 5, 100, 1000])
+        assert dist.counts[ConstantClass.ZERO] == 2
+        assert dist.counts[ConstantClass.LARGE] == 1
+        assert dist.total == 7
+
+    def test_percentages_sum_to_100(self):
+        dist = distribution(range(-50, 500))
+        assert sum(dist.percentages.values()) == pytest.approx(100.0)
+
+    def test_coverage_monotone(self):
+        dist = distribution(range(300))
+        assert dist.imm4_coverage <= dist.movi_coverage <= 100.0
+
+    def test_empty_distribution(self):
+        dist = distribution([])
+        assert dist.total == 0 and dist.imm4_coverage == 0.0
+
+    def test_corpus_shape_matches_paper(self):
+        """The paper's headline: ~70% fit 4 bits, ~95% fit 8."""
+        dist = corpus_distribution()
+        assert dist.imm4_coverage > 60.0
+        assert dist.movi_coverage > 90.0
+        assert dist.percent(ConstantClass.LARGE) < 10.0
+
+
+class TestCcUsage:
+    def test_zero_test_after_operation_is_saved(self):
+        from repro.ccmachine.isa import Alu, CcAluOp, CcImm, CcReg, Cmp, Halt
+        from repro.ccmachine.machine import resolve
+
+        program = resolve(
+            [
+                (None, Alu(CcAluOp.SUB, CcImm(1), CcReg(1))),
+                (None, Cmp(CcReg(1), CcImm(0))),
+                (None, Halt()),
+            ]
+        )
+        usage = analyze_cc_program(program)
+        assert usage.compares == 1
+        assert usage.saved_by_operators == 1
+
+    def test_zero_test_after_move_saved_only_with_moves(self):
+        from repro.ccmachine.isa import AbsAddr, CcImm, CcMem, CcReg, Cmp, Halt, Move
+        from repro.ccmachine.machine import resolve
+
+        program = resolve(
+            [
+                (None, Move(CcMem(AbsAddr(5)), CcReg(1))),
+                (None, Cmp(CcReg(1), CcImm(0))),
+                (None, Halt()),
+            ]
+        )
+        usage = analyze_cc_program(program)
+        assert usage.saved_by_moves == 1
+        assert usage.saved_by_operators == 0
+
+    def test_branch_target_blocks_saving(self):
+        from repro.ccmachine.isa import Alu, CcAluOp, CcImm, CcReg, Cmp, Halt
+        from repro.ccmachine.machine import resolve
+
+        program = resolve(
+            [
+                (None, Alu(CcAluOp.SUB, CcImm(1), CcReg(1))),
+                ("join", Cmp(CcReg(1), CcImm(0))),  # a label: CC unknown
+                (None, Halt()),
+            ]
+        )
+        assert analyze_cc_program(program).saved_by_operators == 0
+
+    def test_nonzero_comparison_never_saved(self):
+        from repro.ccmachine.isa import Alu, CcAluOp, CcImm, CcReg, Cmp, Halt
+        from repro.ccmachine.machine import resolve
+
+        program = resolve(
+            [
+                (None, Alu(CcAluOp.SUB, CcImm(1), CcReg(1))),
+                (None, Cmp(CcReg(1), CcImm(5))),
+                (None, Halt()),
+            ]
+        )
+        assert analyze_cc_program(program).saved_by_operators == 0
+
+
+class TestBoolExpr:
+    def test_count_operators(self):
+        checked = analyze(
+            "program p; var a, b, c: integer; f: boolean;"
+            "begin f := (a = b) or (b < c) end."
+        )
+        assign = checked.ast.body.body[0]
+        assert count_operators(assign.value) == 3  # two relations + or
+
+    def test_jump_vs_store_classification(self):
+        checked = analyze(
+            """
+            program p;
+            var a, b: integer; f: boolean;
+            begin
+              f := a = b;
+              if a < b then a := 1;
+              while a > b do a := a - 1
+            end.
+            """
+        )
+        stats = program_stats(checked)
+        assert stats.store_expressions == 1
+        assert stats.jump_expressions == 2
+
+    def test_bare_boolean_variable_not_counted(self):
+        checked = analyze(
+            "program p; var f: boolean; begin f := true; if f then f := false end."
+        )
+        stats = program_stats(checked)
+        assert stats.expressions == 0  # no operators anywhere
+
+    def test_corpus_has_both_contexts(self):
+        stats = corpus_stats()
+        assert stats.jump_expressions > 0
+        assert stats.store_expressions > 0
+        assert 1.0 <= stats.operators_per_expression <= 3.0
+
+
+class TestBoolCost:
+    def test_table5_matches_paper_exactly(self):
+        assert TABLE5[EvalStrategy.SET_CONDITIONALLY][0].as_tuple() == (2, 1, 0)
+        assert TABLE5[EvalStrategy.CC_CONDITIONAL_SET][0].as_tuple() == (2, 3, 0)
+        assert TABLE5[EvalStrategy.CC_BRANCH_FULL][0].as_tuple() == (2, 2, 2)
+        assert TABLE5[EvalStrategy.CC_BRANCH_EARLY_OUT][1].as_tuple() == (2, 0, 1.5)
+
+    def test_cost_weights(self):
+        assert OpCounts(1, 1, 1).cost() == 2 + 1 + 4
+
+    def test_setcond_store_matches_paper(self):
+        # with the paper's inputs this cell reproduces exactly: 9.3
+        assert expression_cost(
+            EvalStrategy.SET_CONDITIONALLY, "store", 1.66
+        ) == pytest.approx(9.3, abs=0.01)
+
+    def test_strategy_ordering(self):
+        """setcond < conditional set < branch evaluation, at any ops/expr."""
+        for ops in (1.0, 1.66, 2.5):
+            rows = table6(ops)
+            assert (
+                rows[EvalStrategy.SET_CONDITIONALLY].total_full
+                < rows[EvalStrategy.CC_CONDITIONAL_SET].total_full
+                < rows[EvalStrategy.CC_BRANCH_FULL].total_full
+            )
+
+    def test_early_out_only_helps_branch_evaluation(self):
+        rows = table6(1.66)
+        setcond = rows[EvalStrategy.SET_CONDITIONALLY]
+        branch = rows[EvalStrategy.CC_BRANCH_FULL]
+        assert setcond.total_full == setcond.total_early
+        assert branch.total_early < branch.total_full
+
+    def test_improvements_in_paper_ballpark(self):
+        result = improvements(1.66, 0.809)
+        assert 25 <= result[("conditional set / CC", "full")] <= 45
+        assert 45 <= result[("set conditionally", "full")] <= 60
+        assert 5 <= result[("conditional set / CC", "early-out")] <= 20
+        assert 25 <= result[("set conditionally", "early-out")] <= 45
+
+
+class TestByteCost:
+    def test_paper_frequency_penalties_positive(self):
+        for allocation in ("word-allocated", "byte-allocated"):
+            low, high = from_paper(allocation).penalty_percent()
+            assert high > 0, "byte addressing must lose"
+
+    def test_word_allocated_penalty_near_paper(self):
+        low, high = from_paper("word-allocated").penalty_percent()
+        assert 7 <= low <= 14 and 9 <= high <= 16
+
+    def test_more_overhead_more_penalty(self):
+        from repro.analysis import PAPER_FREQUENCIES
+
+        sweep = overhead_sweep(PAPER_FREQUENCIES["word-allocated"])
+        highs = [sweep[o][1] for o in sorted(sweep)]
+        assert highs == sorted(highs)
+
+    def test_zero_frequencies_no_crash(self):
+        costs = AddressingCosts({})
+        assert costs.penalty_percent() == (0.0, 0.0)
+
+    def test_component_rows_cover_table10(self):
+        rows = from_paper("word-allocated").component_rows()
+        assert len(rows) == 8
+
+
+class TestStaticCounts:
+    def test_ladder_monotone_for_fib(self):
+        from repro.workloads import FIB_RECURSIVE
+
+        ladder = measure_program("fib", FIB_RECURSIVE)
+        assert ladder.is_monotone()
+        assert ladder.total_improvement_percent > 5.0
+
+    def test_improvement_at_each_level(self):
+        from repro.workloads import FIB_RECURSIVE
+
+        ladder = measure_program("fib", FIB_RECURSIVE)
+        values = [ladder.improvement_at(level) for level in ALL_LEVELS]
+        assert values[0] == 0.0
+        assert values == sorted(values)

@@ -1,0 +1,278 @@
+"""The condition-code baseline: ISA semantics, disciplines, compiler."""
+
+import pytest
+
+from repro.ccmachine import (
+    AbsAddr,
+    Alu,
+    ArchitectureModel,
+    Br,
+    CcAluOp,
+    CcCond,
+    CcDiscipline,
+    CcImm,
+    CcMachine,
+    CcMem,
+    CcReg,
+    CcStrategy,
+    Cmp,
+    DispAddr,
+    Halt,
+    Jsr,
+    M68000,
+    MIPS,
+    Move,
+    Pop,
+    Push,
+    Rts,
+    Scc,
+    SysWrite,
+    VAX,
+    compile_cc_source,
+    resolve,
+    table2,
+)
+
+
+def run_instrs(stream, discipline=CcDiscipline.OPERATIONS_AND_MOVES, setup=None):
+    machine = CcMachine(resolve(stream), discipline)
+    if setup:
+        setup(machine)
+    machine.run(100_000)
+    return machine
+
+
+class TestMachineSemantics:
+    def test_alu_is_two_address(self):
+        machine = run_instrs(
+            [
+                (None, Move(CcImm(10), CcReg(1))),
+                (None, Alu(CcAluOp.SUB, CcImm(3), CcReg(1))),
+                (None, SysWrite(CcReg(1))),
+                (None, Halt()),
+            ]
+        )
+        assert machine.output == [7]
+
+    def test_memory_operands(self):
+        machine = run_instrs(
+            [
+                (None, Move(CcImm(5), CcMem(AbsAddr(100)))),
+                (None, Alu(CcAluOp.ADD, CcMem(AbsAddr(100)), CcMem(AbsAddr(100)))),
+                (None, SysWrite(CcMem(AbsAddr(100)))),
+                (None, Halt()),
+            ]
+        )
+        assert machine.output == [10]
+        assert machine.stats.memory_reads >= 2
+        assert machine.stats.memory_writes >= 2
+
+    def test_cmp_sets_cc_without_writing(self):
+        machine = run_instrs(
+            [
+                (None, Move(CcImm(3), CcReg(1))),
+                (None, Cmp(CcReg(1), CcImm(5))),
+                (None, Br(CcCond.LT, "less")),
+                (None, SysWrite(CcImm(0))),
+                (None, Halt()),
+                ("less", SysWrite(CcImm(1))),
+                (None, Halt()),
+            ]
+        )
+        assert machine.output == [1]
+
+    def test_signed_comparison(self):
+        machine = run_instrs(
+            [
+                (None, Move(CcImm(-1), CcReg(1))),
+                (None, Cmp(CcReg(1), CcImm(1))),
+                (None, Br(CcCond.LT, "neg")),
+                (None, SysWrite(CcImm(0))),
+                (None, Halt()),
+                ("neg", SysWrite(CcImm(1))),
+                (None, Halt()),
+            ]
+        )
+        assert machine.output == [1]
+
+    def test_scc_materializes_condition(self):
+        machine = run_instrs(
+            [
+                (None, Cmp(CcImm(2), CcImm(2))),
+                (None, Scc(CcCond.EQ, CcReg(1))),
+                (None, SysWrite(CcReg(1))),
+                (None, Halt()),
+            ]
+        )
+        assert machine.output == [1]
+
+    def test_call_and_return(self):
+        machine = run_instrs(
+            [
+                (None, Jsr("sub")),
+                (None, SysWrite(CcReg(0))),
+                (None, Halt()),
+                ("sub", Move(CcImm(9), CcReg(0))),
+                (None, Rts()),
+            ]
+        )
+        assert machine.output == [9]
+
+    def test_push_pop(self):
+        machine = run_instrs(
+            [
+                (None, Push(CcImm(4))),
+                (None, Push(CcImm(5))),
+                (None, Pop(CcReg(1))),
+                (None, Pop(CcReg(2))),
+                (None, SysWrite(CcReg(1))),
+                (None, SysWrite(CcReg(2))),
+                (None, Halt()),
+            ]
+        )
+        assert machine.output == [5, 4]
+
+
+class TestDisciplines:
+    def stream_move_then_branch(self):
+        # mov 0, then mov 5, then branch-if-zero with NO compare: only a
+        # machine whose moves set the CC sees the final (nonzero) move
+        return [
+            (None, Move(CcImm(0), CcReg(1))),
+            (None, Move(CcImm(5), CcReg(2))),
+            (None, Br(CcCond.EQ, "zero")),
+            (None, SysWrite(CcImm(0))),
+            (None, Halt()),
+            ("zero", SysWrite(CcImm(1))),
+            (None, Halt()),
+        ]
+
+    def test_vax_moves_set_cc(self):
+        machine = run_instrs(
+            self.stream_move_then_branch(), CcDiscipline.OPERATIONS_AND_MOVES
+        )
+        assert machine.output == [0]  # the move of 5 cleared Z
+
+    def test_360_moves_do_not_set_cc(self):
+        machine = run_instrs(
+            self.stream_move_then_branch(), CcDiscipline.OPERATIONS_ONLY
+        )
+        assert machine.output == [1]  # Z still holds its power-on state
+
+    def test_weighted_cost_model(self):
+        machine = run_instrs(
+            [
+                (None, Move(CcImm(1), CcReg(1))),   # 1
+                (None, Cmp(CcReg(1), CcImm(1))),    # 2
+                (None, Br(CcCond.NE, "x")),         # 4
+                ("x", Halt()),
+            ]
+        )
+        assert machine.stats.weighted_cost == 1 + 2 + 4 + 1  # + halt
+
+
+class TestCcCompiler:
+    SOURCE = """
+    program ccdemo;
+    var a: array [0..4] of integer;
+        i, s: integer;
+    function sq(n: integer): integer;
+    begin sq := n * n end;
+    begin
+      s := 0;
+      for i := 0 to 4 do begin
+        a[i] := sq(i);
+        s := s + a[i]
+      end;
+      writeln(s)
+    end.
+    """
+
+    @pytest.mark.parametrize("strategy", list(CcStrategy))
+    def test_all_strategies_compute_the_same(self, strategy):
+        program = compile_cc_source(self.SOURCE, strategy)
+        machine = CcMachine(program)
+        machine.run(1_000_000)
+        assert machine.output == [0 + 1 + 4 + 9 + 16]
+
+    def test_cond_set_emits_scc(self):
+        source = """
+        program p;
+        var a, b: integer; f: boolean;
+        begin a := 1; b := 2; f := (a = b) or (a < b); if f then writeln(1) end.
+        """
+        program = compile_cc_source(source, CcStrategy.COND_SET)
+        from repro.ccmachine.isa import Scc as SccInstr
+
+        assert any(isinstance(i, SccInstr) for i in program.instrs)
+
+    def test_full_eval_avoids_scc(self):
+        source = """
+        program p;
+        var a, b: integer; f: boolean;
+        begin a := 1; b := 2; f := (a = b) or (a < b); if f then writeln(1) end.
+        """
+        program = compile_cc_source(source, CcStrategy.FULL_EVAL)
+        from repro.ccmachine.isa import Scc as SccInstr
+
+        assert not any(isinstance(i, SccInstr) for i in program.instrs)
+
+    def test_early_out_executes_fewer_instructions(self):
+        source = """
+        program p;
+        var i, hits: integer; f: boolean;
+        begin
+          hits := 0;
+          for i := 0 to 199 do begin
+            f := (i = 0) or (i = 1) or (i = 2) or (i = 3);
+            if f then hits := hits + 1
+          end;
+          writeln(hits)
+        end.
+        """
+        full = CcMachine(compile_cc_source(source, CcStrategy.FULL_EVAL))
+        full.run(1_000_000)
+        early = CcMachine(compile_cc_source(source, CcStrategy.EARLY_OUT))
+        early.run(1_000_000)
+        assert full.output == early.output == [4]
+        assert early.stats.instructions < full.stats.instructions
+
+    def test_var_params(self):
+        source = """
+        program p;
+        var g: integer;
+        procedure bump(var x: integer);
+        begin x := x + 5 end;
+        begin g := 1; bump(g); writeln(g) end.
+        """
+        machine = CcMachine(compile_cc_source(source))
+        machine.run(100_000)
+        assert machine.output == [6]
+
+    def test_memory_operand_comparison_pattern(self):
+        # `cmp Rec, Key` should appear with direct memory operands
+        source = """
+        program p;
+        var rec, key: integer; f: boolean;
+        begin rec := 1; key := 1; f := rec = key; if f then writeln(1) end.
+        """
+        program = compile_cc_source(source)
+        cmps = [i for i in program.instrs if isinstance(i, Cmp)]
+        assert any(
+            isinstance(c.a, CcMem) and isinstance(c.b, CcMem) for c in cmps
+        )
+
+
+class TestFeatureModels:
+    def test_table2_covers_five_architectures(self):
+        assert set(table2()) == {"M68000", "MIPS", "VAX", "360", "PDP-10"}
+
+    def test_mips_has_no_condition_codes(self):
+        assert not MIPS.has_condition_codes
+
+    def test_m68000_has_conditional_set(self):
+        assert M68000.has_conditional_set
+        assert M68000.discipline is CcDiscipline.OPERATIONS_ONLY
+
+    def test_vax_discipline(self):
+        assert VAX.discipline is CcDiscipline.OPERATIONS_AND_MOVES

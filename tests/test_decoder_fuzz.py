@@ -1,0 +1,60 @@
+"""Decoder robustness: arbitrary 32-bit patterns never crash the decoder.
+
+Every pattern either decodes to a valid instruction word (which must
+re-encode to an equivalent word) or raises ``EncodingError`` -- no
+other exception type, ever.  This is what the CPU's illegal-instruction
+path relies on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.sim import IllegalInstruction, Machine
+from repro.asm import assemble
+
+
+@settings(max_examples=400, deadline=None)
+@given(st.integers(0, (1 << 32) - 1))
+def test_decode_is_total(bits):
+    try:
+        word = decode(bits, addr=100)
+    except (EncodingError, ValueError):
+        return  # rejected cleanly
+    # whatever decoded must re-encode and decode to the same thing
+    recoded = encode(word, addr=100)
+    assert decode(recoded, addr=100) == word
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, (1 << 32) - 1))
+def test_decode_stability(bits):
+    """decode(encode(decode(x))) is a fixpoint when x decodes at all."""
+    try:
+        first = decode(bits, addr=7)
+    except (EncodingError, ValueError):
+        return
+    second = decode(encode(first, addr=7), addr=7)
+    assert second == first
+
+
+def test_cpu_raises_illegal_on_undecodable_word():
+    machine = Machine(assemble("start: nop"))
+    # plant an undecodable pattern (unknown special subop) and run into it
+    machine.memory.poke(1, 0b000_11111 << 24)
+    machine.cpu.pc = 1
+    with pytest.raises(IllegalInstruction):
+        machine.cpu.step()
+
+
+def test_executing_data_as_code_is_defined():
+    """Zeroed memory decodes as no-ops: running off the end of a program
+    is a silent nop sled until something faults -- deterministic, not a
+    Python crash."""
+    machine = Machine(assemble("start: nop"))
+    machine.cpu.pc = 50
+    for _ in range(10):
+        machine.cpu.step()
+    assert machine.cpu.pc == 60
+    assert machine.stats.noops == 10

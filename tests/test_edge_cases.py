@@ -1,0 +1,164 @@
+"""Edge cases across the stack that the main suites do not pin down."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.program import Program
+from repro.ccmachine import CcMachineError, resolve
+from repro.compiler import CompileError, CompileOptions, compile_source
+from repro.sim import HazardMode, Machine
+from repro.system import Kernel, MAX_PROCESSES
+
+
+class TestProgramImage:
+    def test_fetch_outside_image(self):
+        program = assemble("start: nop")
+        with pytest.raises(KeyError):
+            program.fetch(999)
+
+    def test_symbol_lookup_error(self):
+        program = assemble("start: nop")
+        with pytest.raises(KeyError):
+            program.symbol("missing")
+
+    def test_disassemble_window(self):
+        program = assemble("start: nop\nnop\nnop")
+        listing = program.disassemble(start=1, count=1)
+        assert listing.count("nop") == 1
+
+    def test_code_size_excludes_data(self):
+        program = assemble("start: nop\nd: .word 1, 2, 3")
+        assert program.code_size == 1
+        assert program.size == 4
+
+
+class TestCcResolver:
+    def test_duplicate_label(self):
+        from repro.ccmachine import Halt
+
+        with pytest.raises(CcMachineError, match="redefined"):
+            resolve([("a", Halt()), ("a", Halt())])
+
+    def test_undefined_target(self):
+        from repro.ccmachine import Br, CcCond
+
+        with pytest.raises(CcMachineError, match="undefined"):
+            resolve([(None, Br(CcCond.ALWAYS, "nowhere"))])
+
+
+class TestKernelLimits:
+    def test_process_table_capacity(self):
+        kernel = Kernel()
+        program = compile_source("program p; begin writeln(1) end.").program
+        for _ in range(MAX_PROCESSES):
+            kernel.add_process(program)
+        with pytest.raises(RuntimeError, match="full"):
+            kernel.add_process(program)
+
+    def test_boot_requires_processes(self):
+        with pytest.raises(RuntimeError, match="no processes"):
+            Kernel().boot()
+
+    def test_sixteen_processes_run(self):
+        kernel = Kernel(quantum=1000)
+        program = compile_source(
+            "program p; var i, s: integer;"
+            "begin s := 0; for i := 1 to 15 do s := s + i; writeln(s) end."
+        ).program
+        for _ in range(MAX_PROCESSES):
+            kernel.add_process(program)
+        kernel.run(200_000_000)
+        for pid in range(MAX_PROCESSES):
+            assert kernel.output(pid) == [120], pid
+
+
+class TestCompilerLimits:
+    def test_empty_program(self):
+        machine = Machine(compile_source("program p; begin end.").program)
+        machine.run(1000)
+        assert machine.output == []
+
+    def test_large_frame(self):
+        source = """
+        program p;
+        procedure big;
+        var a: array [0..299] of integer;
+            i: integer;
+        begin
+          for i := 0 to 299 do a[i] := i;
+          writeln(a[299])
+        end;
+        begin big end.
+        """
+        machine = Machine(
+            compile_source(source).program, hazard_mode=HazardMode.CHECKED
+        )
+        machine.run(1_000_000)
+        assert machine.output == [299]
+
+    def test_deep_argument_stack(self):
+        source = """
+        program p;
+        function add8(a, b, c, d, e, f, g, h: integer): integer;
+        begin add8 := a + b + c + d + e + f + g + h end;
+        begin writeln(add8(1, 2, 3, 4, 5, 6, 7, 8)) end.
+        """
+        machine = Machine(
+            compile_source(source).program, hazard_mode=HazardMode.CHECKED
+        )
+        machine.run(100_000)
+        assert machine.output == [36]
+
+    def test_large_constant_assignment(self):
+        source = """
+        program p;
+        var x: integer;
+        begin
+          x := 2000000000;
+          writeln(x);
+          x := -2000000000;
+          writeln(x)
+        end.
+        """
+        machine = Machine(
+            compile_source(source).program, hazard_mode=HazardMode.CHECKED
+        )
+        machine.run(10_000)
+        assert machine.output == [2000000000, -2000000000]
+
+    def test_comparisons_near_the_integer_limits(self):
+        source = """
+        program p;
+        var big, small: integer;
+        begin
+          big := 2147483647;
+          small := -2147483647;
+          if big > small then writeln(1) else writeln(0);
+          if small < 0 then writeln(1) else writeln(0);
+          if big + 1 < 0 then writeln(1) else writeln(0)  { wraps }
+        end.
+        """
+        machine = Machine(
+            compile_source(source).program, hazard_mode=HazardMode.CHECKED
+        )
+        machine.run(10_000)
+        assert machine.output == [1, 1, 1]
+
+
+class TestUpcomingPcs:
+    def test_sequential(self):
+        machine = Machine(assemble("start: nop\nnop\nnop\nnop"))
+        assert machine.cpu.upcoming_pcs(3) == [0, 1, 2]
+
+    def test_through_taken_branch(self):
+        machine = Machine(assemble("start: jmp t\nnop\nnop\nt: nop"))
+        machine.cpu.step()  # the jmp; its slot is next, then the target
+        assert machine.cpu.upcoming_pcs(3) == [1, 3, 4]
+
+    def test_through_indirect_jump(self):
+        machine = Machine(
+            assemble("start: lim t, r2\njmpr r2\nnop\nnop\nt: nop")
+        )
+        machine.cpu.step()  # lim
+        machine.cpu.step()  # jmpr: two slots follow
+        assert machine.cpu.upcoming_pcs(4) == [2, 3, 4, 5]

@@ -1,0 +1,123 @@
+"""The experiment harness: every table and figure runs and holds its shape."""
+
+import pytest
+
+from repro.experiments import REGISTRY
+from repro.experiments.figures import figure1, figure2, figure3, figure4
+from repro.experiments.tables import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table9,
+    table10,
+    table11,
+)
+
+
+class TestFiguresExact:
+    """Figures 1-3 reproduce the paper's numbers *exactly*."""
+
+    def test_figure1(self):
+        rows = figure1().rows
+        assert rows["full evaluation: static"] == 8
+        assert rows["full evaluation: avg executed"] == 7.0
+        assert rows["full evaluation: branches executed"] == 2.0
+        assert rows["early-out: static"] == 6
+        assert rows["early-out: avg executed"] == 4.25
+
+    def test_figure2(self):
+        rows = figure2().rows
+        assert rows["static instructions"] == 5
+        assert rows["dynamic instructions"] == 5.0
+        assert rows["branches"] == 0.0
+
+    def test_figure3(self):
+        rows = figure3().rows
+        assert rows["static instructions"] == 3
+        assert rows["dynamic instructions"] == 3.0
+        assert rows["branches"] == 0
+
+    def test_figure4_monotone(self):
+        rows = figure4().rows
+        counts = [
+            rows["none: static words"],
+            rows["reorganize: static words"],
+            rows["pack: static words"],
+            rows["branch-delay: static words"],
+        ]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[-1] < counts[0]
+
+
+class TestTableShapes:
+    def test_table1_coverage_claims(self):
+        rows = table1().rows
+        assert rows["4-bit coverage %"] > 60
+        assert rows["4+8-bit coverage %"] > 90
+
+    def test_table2_matches_paper_taxonomy(self):
+        result = table2()
+        assert result.rows["MIPS"].startswith("no condition code")
+        assert result.rows["VAX"].startswith("set on moves")
+
+    def test_table3_savings_small(self):
+        rows = table3().rows
+        assert rows["saved % (operators only)"] < 5.0
+        assert rows["saved % (operators and moves)"] < 25.0
+
+    def test_table4_jump_dominates(self):
+        rows = table4().rows
+        assert rows["expressions ending in jumps %"] > rows["expressions ending in stores %"]
+
+    def test_table5_matches_paper(self):
+        result = table5()
+        for key, value in result.paper.items():
+            assert result.rows[key] == value, key
+
+    def test_table9_matches_paper(self):
+        result = table9()
+        for key, value in result.paper.items():
+            assert result.rows[key] == value, key
+
+    def test_table10_word_addressing_wins(self):
+        rows = table10().rows
+        for allocation in ("word-allocated", "byte-allocated"):
+            low, high = rows[f"{allocation}: byte addressing penalty %"]
+            assert high > 0
+
+    def test_table11_every_program_improves_monotonically(self):
+        rows = table11().rows
+        for name in ("Fibbonacci", "Puzzle 0", "Puzzle 1"):
+            counts = [
+                rows[f"{name} / none"],
+                rows[f"{name} / reorganize"],
+                rows[f"{name} / pack"],
+                rows[f"{name} / branch-delay"],
+            ]
+            assert counts == sorted(counts, reverse=True), name
+            assert rows[f"{name} / total improvement %"] > 5.0
+
+
+class TestHarness:
+    def test_registry_is_complete(self):
+        expected = {f"table{i}" for i in range(1, 12)} | {
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "free_cycles",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_render_includes_paper_values(self):
+        text = table5().render()
+        assert "paper" in text
+
+    @pytest.mark.parametrize(
+        "name", ["table2", "table5", "table9", "figure1", "figure2", "figure3"]
+    )
+    def test_cheap_experiments_run(self, name):
+        result = REGISTRY[name]()
+        assert result.rows

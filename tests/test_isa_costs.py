@@ -1,0 +1,68 @@
+"""Cycle-cost model behind Tables 9/10."""
+
+import pytest
+
+from repro.isa.costs import (
+    BYTE_ADDRESSING_OVERHEAD_HIGH,
+    BYTE_ADDRESSING_OVERHEAD_LOW,
+    CostRange,
+    MemOperation,
+    byte_machine_costs,
+    table9,
+    word_machine_costs,
+)
+
+
+class TestCostRange:
+    def test_point(self):
+        r = CostRange.point(4)
+        assert r.lo == r.hi == 4
+
+    def test_add(self):
+        assert (CostRange(1, 2) + CostRange(3, 4)) == CostRange(4, 6)
+
+    def test_scaled(self):
+        assert CostRange(8, 12).scaled(0.5) == CostRange(4, 6)
+
+    def test_repr_forms(self):
+        assert repr(CostRange.point(4)) == "4"
+        assert repr(CostRange(8, 12)) == "8-12"
+
+
+class TestTable9Values:
+    """The exact Table 9 cells."""
+
+    def test_byte_machine_without_overhead(self):
+        costs = byte_machine_costs(0.0)
+        assert costs[MemOperation.LOAD_WORD] == CostRange.point(4)
+        assert costs[MemOperation.LOAD_BYTE] == CostRange.point(6)
+        assert costs[MemOperation.LOAD_FROM_ARRAY] == CostRange.point(4)
+
+    def test_byte_machine_with_15_percent(self):
+        costs = byte_machine_costs(0.15)
+        assert costs[MemOperation.LOAD_WORD].lo == pytest.approx(4.6)
+        assert costs[MemOperation.LOAD_BYTE].lo == pytest.approx(6.9)
+
+    def test_word_machine(self):
+        costs = word_machine_costs()
+        assert costs[MemOperation.LOAD_WORD] == CostRange.point(4)
+        assert costs[MemOperation.LOAD_FROM_ARRAY] == CostRange.point(6)
+        assert costs[MemOperation.STORE_INTO_ARRAY] == CostRange(8, 12)
+        assert costs[MemOperation.LOAD_BYTE] == CostRange.point(8)
+        assert costs[MemOperation.STORE_BYTE] == CostRange(10, 18)
+
+    def test_word_machine_pays_nothing_on_words(self):
+        """The key asymmetry: word refs cost the same as a byte machine
+        without overhead, and less than one with."""
+        word = word_machine_costs()[MemOperation.LOAD_WORD]
+        byte = byte_machine_costs(BYTE_ADDRESSING_OVERHEAD_LOW)[MemOperation.LOAD_WORD]
+        assert word.hi < byte.lo
+
+    def test_table9_has_all_rows(self):
+        rows = table9()
+        assert set(rows) == set(MemOperation)
+        for plain, with_overhead, mips in rows.values():
+            assert with_overhead.lo >= plain.lo
+
+    def test_overhead_bounds(self):
+        assert 0 < BYTE_ADDRESSING_OVERHEAD_LOW < BYTE_ADDRESSING_OVERHEAD_HIGH <= 0.25

@@ -1,0 +1,165 @@
+"""Binary encoding: every word is 32 bits and round-trips exactly."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.operations import AluOp, Comparison
+from repro.isa.pieces import (
+    Absolute,
+    Alu,
+    BaseIndex,
+    BaseShifted,
+    CompareBranch,
+    Displacement,
+    Imm,
+    Jump,
+    JumpIndirect,
+    Load,
+    LoadImm,
+    MovImm,
+    Noop,
+    ReadSpecial,
+    Rfs,
+    SetCond,
+    Store,
+    Trap,
+    WriteSpecial,
+)
+from repro.isa.registers import Reg, SpecialReg
+from repro.isa.words import InstructionWord
+
+regs = st.builds(Reg, st.integers(0, 15))
+imms = st.builds(Imm, st.integers(0, 15))
+operands = st.one_of(regs, imms)
+#: MOV/NOT canonically carry Imm(0) as their ignored second source
+two_source_ops = st.sampled_from([op for op in AluOp if op not in (AluOp.MOV, AluOp.NOT, AluOp.IC)])
+
+addresses = st.one_of(
+    st.builds(Absolute, st.integers(0, (1 << 21) - 1)),
+    st.builds(Displacement, regs, st.integers(-(1 << 16), (1 << 16) - 1)),
+    st.builds(BaseIndex, regs, regs),
+    st.builds(BaseShifted, regs, st.integers(1, 4)),
+)
+
+single_pieces = st.one_of(
+    st.just(Noop()),
+    st.just(Rfs()),
+    st.builds(Alu, two_source_ops, operands, operands, regs),
+    st.builds(lambda s1, dst: Alu(AluOp.MOV, s1, Imm(0), dst), operands, regs),
+    st.builds(lambda s1, dst: Alu(AluOp.NOT, s1, Imm(0), dst), operands, regs),
+    st.builds(MovImm, st.integers(0, 255), regs),
+    st.builds(LoadImm, st.integers(-(1 << 20), (1 << 20) - 1), regs),
+    st.builds(SetCond, st.sampled_from(list(Comparison)), operands, operands, regs),
+    st.builds(Load, addresses, regs),
+    st.builds(Store, addresses, regs),
+    st.builds(Jump, st.integers(0, (1 << 24) - 1), st.booleans()),
+    st.builds(JumpIndirect, regs, st.booleans()),
+    st.builds(Trap, st.integers(0, 4095)),
+    st.builds(ReadSpecial, st.sampled_from(list(SpecialReg)), regs),
+    st.builds(WriteSpecial, st.sampled_from(list(SpecialReg)), operands),
+)
+
+
+class TestRoundTrip:
+    @given(single_pieces)
+    def test_single_piece_round_trips(self, piece):
+        word = InstructionWord.single(piece)
+        bits = encode(word, addr=0)
+        assert 0 <= bits < (1 << 32), "every instruction is exactly 32 bits"
+        assert decode(bits, addr=0) == word
+
+    @given(
+        st.integers(0, 1000),
+        st.integers(0, 2000),
+        st.sampled_from(list(Comparison)),
+        operands,
+        operands,
+    )
+    def test_branch_round_trips_pc_relative(self, addr, target, cond, s1, s2):
+        word = InstructionWord.single(CompareBranch(cond, s1, s2, target))
+        assert decode(encode(word, addr), addr) == word
+
+    def test_branch_offset_overflow(self):
+        word = InstructionWord.single(
+            CompareBranch(Comparison.EQ, Reg(0), Reg(0), 1 << 15)
+        )
+        with pytest.raises(EncodingError):
+            encode(word, addr=0)
+
+    def test_unresolved_target_rejected(self):
+        word = InstructionWord.single(Jump("label"))
+        with pytest.raises(EncodingError):
+            encode(word)
+
+
+packed_mem = st.builds(
+    lambda store, base, disp, r: (
+        Store(Displacement(base, disp), r) if store else Load(Displacement(base, disp), r)
+    ),
+    st.booleans(),
+    regs,
+    st.integers(0, 7),
+    regs,
+)
+
+packable_ops = st.sampled_from(
+    [AluOp.ADD, AluOp.SUB, AluOp.RSUB, AluOp.AND, AluOp.OR, AluOp.XOR]
+)
+packed_alu = st.one_of(
+    st.builds(lambda op, s1, s2, dst: Alu(op, s1, s2, dst), packable_ops, operands, regs, regs),
+    st.builds(lambda s1, dst: Alu(AluOp.MOV, s1, Imm(0), dst), operands, regs),
+    st.builds(
+        lambda op, s1, s2, dst: Alu(op, s1, s2, dst),
+        st.sampled_from([AluOp.SLL, AluOp.SRL, AluOp.SRA]),
+        regs,
+        operands,
+        regs,
+    ),
+    st.builds(MovImm, st.integers(0, 255), regs),
+)
+
+
+class TestPackedRoundTrip:
+    @given(packed_mem, packed_alu)
+    def test_packed_round_trips(self, mem, alu):
+        from repro.isa.words import can_pack
+
+        if not can_pack(mem, alu):
+            return
+        word = InstructionWord.packed(mem, alu)
+        assert decode(encode(word)) == word
+
+    def test_exact_example(self):
+        word = InstructionWord.packed(
+            Load(Displacement(Reg(14), 3), Reg(2)),
+            Alu(AluOp.ADD, Imm(1), Reg(14), Reg(14)),
+        )
+        assert decode(encode(word)) == word
+
+    def test_packed_shift_round_trips(self):
+        word = InstructionWord.packed(
+            Load(Displacement(Reg(14), 0), Reg(2)),
+            Alu(AluOp.SLL, Reg(3), Imm(2), Reg(3)),
+        )
+        assert decode(encode(word)) == word
+
+
+class TestDecodeErrors:
+    def test_not_32_bits(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+
+    def test_unknown_special_subop(self):
+        with pytest.raises(EncodingError):
+            decode(0b000_11111 << 24)
+
+
+class TestNotesSurviveNothing:
+    def test_note_lost_in_encoding(self):
+        # documented: analysis notes are metadata, not architecture
+        word = InstructionWord.single(Load(Absolute(5), Reg(1), note="load:8:char"))
+        decoded = decode(encode(word))
+        assert decoded == word  # equality ignores notes
+        assert decoded.mem.note is None

@@ -1,0 +1,104 @@
+"""Constant classification and materialization (Table 1 machinery)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.bits import s32
+from repro.isa.immediates import (
+    ConstantClass,
+    classify_constant,
+    fits_imm4,
+    fits_imm4_reversed,
+    fits_movi,
+    materialize,
+    synthesize_large,
+)
+from repro.isa.operations import AluOp, alu_evaluate
+from repro.isa.pieces import Alu, Imm, LoadImm, MovImm
+from repro.isa.registers import Reg
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "value,bucket",
+        [
+            (0, ConstantClass.ZERO),
+            (1, ConstantClass.ONE),
+            (-1, ConstantClass.ONE),
+            (2, ConstantClass.TWO),
+            (3, ConstantClass.SMALL),
+            (15, ConstantClass.SMALL),
+            (16, ConstantClass.BYTE),
+            (255, ConstantClass.BYTE),
+            (-200, ConstantClass.BYTE),
+            (256, ConstantClass.LARGE),
+            (1 << 30, ConstantClass.LARGE),
+        ],
+    )
+    def test_buckets(self, value, bucket):
+        assert classify_constant(value) == bucket
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_every_constant_has_a_bucket(self, value):
+        assert classify_constant(value) in ConstantClass
+
+
+class TestFitPredicates:
+    def test_imm4(self):
+        assert fits_imm4(0) and fits_imm4(15)
+        assert not fits_imm4(16) and not fits_imm4(-1)
+
+    def test_imm4_reversed(self):
+        assert fits_imm4_reversed(-15) and fits_imm4_reversed(0)
+        assert not fits_imm4_reversed(1) and not fits_imm4_reversed(-16)
+
+    def test_movi(self):
+        assert fits_movi(255)
+        assert not fits_movi(-1) and not fits_movi(256)
+
+
+def _simulate(pieces, dst):
+    """Interpret a short materialization sequence."""
+    regs = {}
+    for piece in pieces:
+        if isinstance(piece, Alu):
+            s1 = piece.s1.value if isinstance(piece.s1, Imm) else regs.get(piece.s1.number, 0)
+            s2 = piece.s2.value if isinstance(piece.s2, Imm) else regs.get(piece.s2.number, 0)
+            regs[piece.dst.number] = alu_evaluate(piece.op, s1, s2)
+        elif isinstance(piece, (MovImm, LoadImm)):
+            regs[piece.dst.number] = piece.value & 0xFFFFFFFF
+    return regs.get(dst.number, 0)
+
+
+class TestMaterialization:
+    @pytest.mark.parametrize("value,expected_len", [(0, 1), (7, 1), (-3, 1), (200, 1), (100000, 1)])
+    def test_instruction_counts(self, value, expected_len):
+        assert len(materialize(value, Reg(1))) == expected_len
+
+    def test_small_uses_mov(self):
+        (piece,) = materialize(5, Reg(1))
+        assert isinstance(piece, Alu) and piece.op is AluOp.MOV
+
+    def test_negative_uses_reverse_subtract(self):
+        (piece,) = materialize(-7, Reg(1))
+        assert isinstance(piece, Alu) and piece.op is AluOp.RSUB
+
+    def test_byte_uses_movi(self):
+        (piece,) = materialize(200, Reg(1))
+        assert isinstance(piece, MovImm)
+
+    def test_too_large_raises(self):
+        with pytest.raises(ValueError):
+            materialize(1 << 21, Reg(1))
+
+    @given(st.integers(min_value=-(1 << 20), max_value=(1 << 20) - 1))
+    def test_materialize_produces_the_value(self, value):
+        dst = Reg(1)
+        assert s32(_simulate(materialize(value, dst), dst)) == value
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_synthesize_large_produces_the_value(self, value):
+        dst, scratch = Reg(1), Reg(2)
+        result = _simulate(synthesize_large(value, dst, scratch), dst)
+        assert s32(result) == value

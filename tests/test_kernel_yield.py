@@ -1,0 +1,101 @@
+"""Cooperative scheduling: the SYS_YIELD monitor call.
+
+Two hand-written assembly processes alternate voluntarily via
+``trap #4``; their console writes must interleave in lockstep, proving
+the context switch preserves every register across the voluntary
+switch path too.
+"""
+
+from repro.asm import assemble
+from repro.sim import HazardMode
+from repro.system import Kernel, SYS_YIELD
+
+
+def yielding_process(base: int, rounds: int) -> str:
+    """Writes base+0, yields, base+1, yields, ... then exits."""
+    return f"""
+start:  mov #0, r8
+loop:   movi #{base}, r1
+        add r1, r8, r1
+        trap #1
+        trap #{SYS_YIELD}
+        add r8, #1, r8
+        blo r8, #{rounds}, loop
+        nop
+        trap #0
+"""
+
+
+class TestYieldInterleaving:
+    def test_two_processes_alternate(self):
+        kernel = Kernel(hazard_mode=HazardMode.CHECKED)
+        kernel.add_process(assemble(yielding_process(100, 5)))
+        kernel.add_process(assemble(yielding_process(200, 5)))
+        kernel.run()
+        assert kernel.output(0) == [100, 101, 102, 103, 104]
+        assert kernel.output(1) == [200, 201, 202, 203, 204]
+
+    def test_interleaving_is_strict(self):
+        """Record global write order through a shared console spy."""
+        kernel = Kernel(hazard_mode=HazardMode.CHECKED)
+        kernel.add_process(assemble(yielding_process(100, 4)))
+        kernel.add_process(assemble(yielding_process(200, 4)))
+        order = []
+        original = kernel.console.write_int
+
+        def spy(value):
+            order.append(kernel.console.current_pid)
+            original(value)
+
+        kernel.console.write_int = spy
+        kernel.run()
+        # strict alternation: 0, 1, 0, 1, ...
+        assert order == [0, 1] * 4
+
+    def test_yield_with_one_process_is_harmless(self):
+        kernel = Kernel(hazard_mode=HazardMode.CHECKED)
+        kernel.add_process(assemble(yielding_process(50, 3)))
+        kernel.run()
+        assert kernel.output(0) == [50, 51, 52]
+
+    def test_registers_survive_the_switch(self):
+        """A process parks distinctive values in r8-r13 before yielding
+        and checks them afterwards, printing 1 on success."""
+        source = f"""
+start:  movi #111, r8
+        movi #112, r9
+        movi #113, r10
+        movi #114, r12
+        movi #115, r13
+        trap #{SYS_YIELD}
+        bne r8, r9, fail      ; placeholder ordering uses real checks below
+        nop
+check:  movi #111, r1
+        bne r8, r1, fail
+        nop
+        movi #112, r1
+        bne r9, r1, fail
+        nop
+        movi #113, r1
+        bne r10, r1, fail
+        nop
+        movi #114, r1
+        bne r12, r1, fail
+        nop
+        movi #115, r1
+        bne r13, r1, fail
+        nop
+        mov #1, r1
+        trap #1
+        trap #0
+fail:   mov #0, r1
+        trap #1
+        trap #0
+"""
+        # fix the bogus first branch: r8 != r9 always, so route it to check
+        source = source.replace("bne r8, r9, fail", "bne r8, r9, check")
+        kernel = Kernel(hazard_mode=HazardMode.CHECKED)
+        kernel.add_process(assemble(source))
+        kernel.add_process(assemble(yielding_process(90, 2)))
+        kernel.run()
+        assert kernel.output(0) == [1]

@@ -1,0 +1,250 @@
+"""Mini-Pascal front end: lexer, parser, type checker."""
+
+import pytest
+
+from repro.lang import (
+    BOOLEAN,
+    CHAR,
+    INTEGER,
+    ArrayType,
+    LexError,
+    ParseError,
+    RecordType,
+    SemanticError,
+    analyze,
+    ast,
+    parse_program,
+    tokenize,
+)
+from repro.lang.lexer import Kind
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("begin banana end")
+        assert [t.kind for t in tokens[:3]] == [Kind.KEYWORD, Kind.IDENT, Kind.KEYWORD]
+
+    def test_case_insensitive(self):
+        assert tokenize("BEGIN")[0].is_keyword("begin")
+
+    def test_numbers(self):
+        assert tokenize("42")[0].value == 42
+
+    def test_char_literal(self):
+        token = tokenize("'a'")[0]
+        assert token.kind is Kind.CHAR and token.value == 97
+
+    def test_escaped_quote(self):
+        assert tokenize("''''")[0].value == ord("'")
+
+    def test_string_literal(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind is Kind.STRING and token.text == "hello"
+
+    def test_range_dots_not_eaten_by_number(self):
+        kinds = [t.text for t in tokenize("1..5")[:3]]
+        assert kinds == ["1", "..", "5"]
+
+    def test_two_char_operators(self):
+        texts = [t.text for t in tokenize(":= <= >= <> ..")[:5]]
+        assert texts == [":=", "<=", ">=", "<>", ".."]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a { comment } b (* another *) c")
+        assert [t.text for t in tokens[:3]] == ["a", "b", "c"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("{ forever")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+
+MINIMAL = "program p; begin end."
+
+
+class TestParser:
+    def test_minimal_program(self):
+        program = parse_program(MINIMAL)
+        assert program.name == "p"
+        assert program.body.body == []
+
+    def test_missing_final_dot(self):
+        with pytest.raises(ParseError):
+            parse_program("program p; begin end")
+
+    def test_precedence_relational_loosest(self):
+        program = parse_program("program p; var x: boolean; begin x := 1 + 2 < 3 * 4 end.")
+        assign = program.body.body[0]
+        assert assign.value.op == "<"
+        assert assign.value.left.op == "+"
+        assert assign.value.right.op == "*"
+
+    def test_pascal_and_binds_like_multiplication(self):
+        program = parse_program(
+            "program p; var a, b, c: boolean; begin a := a or b and c end."
+        )
+        expr = program.body.body[0].value
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_unary_minus(self):
+        program = parse_program("program p; var x: integer; begin x := -x end.")
+        assert isinstance(program.body.body[0].value, ast.UnOp)
+
+    def test_dangling_else_binds_inner(self):
+        program = parse_program(
+            "program p; var x: integer; begin "
+            "if x = 1 then if x = 2 then x := 3 else x := 4 end."
+        )
+        outer = program.body.body[0]
+        assert outer.else_branch is None
+        assert outer.then_branch.else_branch is not None
+
+    def test_array_type(self):
+        program = parse_program(
+            "program p; var a: packed array [1..10] of char; begin end."
+        )
+        decl = program.global_vars[0]
+        assert decl.type_expr.packed and decl.type_expr.low == 1
+
+    def test_record_type(self):
+        program = parse_program(
+            "program p; type r = record x, y: integer; c: char end; begin end."
+        )
+        fields = program.types[0].type_expr.fields
+        assert [name for name, _t in fields] == ["x", "y", "c"]
+
+    def test_var_params(self):
+        program = parse_program(
+            "program p; procedure q(var a: integer; b: char); begin end; begin end."
+        )
+        params = program.routines[0].params
+        assert params[0].by_ref and not params[1].by_ref
+
+    def test_for_downto(self):
+        program = parse_program(
+            "program p; var i: integer; begin for i := 10 downto 1 do i := i end."
+        )
+        assert program.body.body[0].downto
+
+    def test_repeat_until(self):
+        program = parse_program(
+            "program p; var i: integer; begin repeat i := i + 1 until i = 3 end."
+        )
+        assert isinstance(program.body.body[0], ast.Repeat)
+
+    def test_field_and_index_chain(self):
+        program = parse_program(
+            "program p; type r = record f: array [0..3] of integer end;"
+            "var v: array [0..1] of r; x: integer; begin x := v[0].f[1] end."
+        )
+        value = program.body.body[0].value
+        assert isinstance(value, ast.Index)
+        assert isinstance(value.base, ast.FieldAccess)
+
+
+class TestSemantic:
+    def test_type_annotation(self):
+        checked = analyze("program p; var x: integer; begin x := 1 + 2 end.")
+        assign = checked.ast.body.body[0]
+        assert assign.value.type == INTEGER
+
+    def test_boolean_condition_required(self):
+        with pytest.raises(SemanticError, match="boolean"):
+            analyze("program p; var x: integer; begin if x then x := 1 end.")
+
+    def test_assignment_type_mismatch(self):
+        with pytest.raises(SemanticError):
+            analyze("program p; var x: integer; c: char; begin x := c end.")
+
+    def test_undefined_variable(self):
+        with pytest.raises(SemanticError, match="undefined"):
+            analyze("program p; begin x := 1 end.")
+
+    def test_duplicate_variable(self):
+        with pytest.raises(SemanticError, match="redefined"):
+            analyze("program p; var x: integer; x: char; begin end.")
+
+    def test_const_usable_as_value(self):
+        checked = analyze("program p; const k = 5; var x: integer; begin x := k end.")
+        value = checked.ast.body.body[0].value
+        assert getattr(value, "const_value", None) == 5
+
+    def test_indexing_non_array(self):
+        with pytest.raises(SemanticError, match="non-array"):
+            analyze("program p; var x: integer; begin x := x[0] end.")
+
+    def test_unknown_field(self):
+        with pytest.raises(SemanticError, match="no field"):
+            analyze(
+                "program p; type r = record a: integer end; var v: r;"
+                "begin v.b := 1 end."
+            )
+
+    def test_call_arity(self):
+        with pytest.raises(SemanticError, match="arguments"):
+            analyze(
+                "program p; var x: integer;"
+                "function f(a: integer): integer; begin f := a end;"
+                "begin x := f(1, 2) end."
+            )
+
+    def test_var_param_needs_variable(self):
+        with pytest.raises(SemanticError, match="needs a variable"):
+            analyze(
+                "program p; procedure q(var a: integer); begin end;"
+                "begin q(1 + 2) end."
+            )
+
+    def test_function_used_as_procedure_allowed(self):
+        analyze(
+            "program p; function f: integer; begin f := 1 end; begin f end."
+        )
+
+    def test_procedure_in_expression_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze(
+                "program p; var x: integer; procedure q; begin end;"
+                "begin x := q() end."
+            )
+
+    def test_implicit_parameterless_call(self):
+        checked = analyze(
+            "program p; var x: integer;"
+            "function three: integer; begin three := 3 end;"
+            "begin x := three end."
+        )
+        value = checked.ast.body.body[0].value
+        assert getattr(value, "implicit_call", False)
+
+    def test_function_result_assignment(self):
+        checked = analyze(
+            "program p; function f(n: integer): integer; begin f := n end;"
+            "begin end."
+        )
+        assert checked.routines["f"].result == INTEGER
+
+    def test_builtins(self):
+        checked = analyze(
+            "program p; var x: integer; c: char; b: boolean;"
+            "begin x := ord(c); c := chr(x); x := abs(x); b := odd(x) end."
+        )
+        assert checked is not None
+
+    def test_for_variable_must_be_integer(self):
+        with pytest.raises(SemanticError):
+            analyze("program p; var c: char; begin for c := 1 to 3 do c := c end.")
+
+    def test_functions_return_scalars_only(self):
+        with pytest.raises(SemanticError, match="scalars"):
+            analyze(
+                "program p; type a = array [0..1] of integer;"
+                "function f: a; begin end; begin end."
+            )

@@ -1,0 +1,117 @@
+"""Multiprecision arithmetic without carry bits (paper section 2.3.3).
+
+"Carry bits are mainly used for multiprecision arithmetic. ... For more
+common occasional use, multiprecision arithmetic can be synthesized
+with 31-bit words."  The runtime routines hold 31 value bits per limb;
+the carry out of a limb operation is simply bit 31 of the 32-bit
+result -- no condition-code carry flag anywhere.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import assemble_pieces
+from repro.compiler.runtime import MPADD_SOURCE, MPSUB_SOURCE
+from repro.reorg import OptLevel, reorganize
+from repro.sim import HazardMode, Machine
+
+LIMB = 1 << 31
+
+HARNESS = """
+start:  lim #{hi1_hi}, r2
+        sll r2, #8, r2
+        sll r2, #8, r2
+        lim #{hi1_lo}, r6
+        or r2, r6, r2
+        lim #{lo1_hi}, r3
+        sll r3, #8, r3
+        sll r3, #8, r3
+        lim #{lo1_lo}, r6
+        or r3, r6, r3
+        lim #{hi2_hi}, r4
+        sll r4, #8, r4
+        sll r4, #8, r4
+        lim #{hi2_lo}, r6
+        or r4, r6, r4
+        lim #{lo2_hi}, r5
+        sll r5, #8, r5
+        sll r5, #8, r5
+        lim #{lo2_lo}, r6
+        or r5, r6, r5
+        jal {routine}
+        mov r1, r8
+        mov r8, r1
+        trap #1
+        mov r2, r1
+        trap #1
+        trap #0
+"""
+
+
+def call(routine, hi1, lo1, hi2, lo2):
+    def split(v):
+        return (v >> 16) & 0xFFFF, v & 0xFFFF
+
+    fields = {}
+    for name, value in (("hi1", hi1), ("lo1", lo1), ("hi2", hi2), ("lo2", lo2)):
+        fields[f"{name}_hi"], fields[f"{name}_lo"] = split(value)
+    source = HARNESS.format(routine=routine, **fields)
+    body = MPADD_SOURCE if routine == "__mpadd" else MPSUB_SOURCE
+    stream = assemble_pieces(source + body)
+    program = reorganize(stream, OptLevel.BRANCH_DELAY).to_program(entry_symbol="start")
+    machine = Machine(program, hazard_mode=HazardMode.CHECKED)
+    machine.run(10_000)
+    high, low = machine.output
+    return high & 0xFFFFFFFF, low & 0xFFFFFFFF
+
+
+def compose(hi, lo):
+    return hi * LIMB + lo
+
+
+class TestMultiprecisionAdd:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (0, 0),
+            (1, 1),
+            (LIMB - 1, 1),            # carry out of the low limb
+            (LIMB - 1, LIMB - 1),
+            ((LIMB - 1) * LIMB, LIMB),
+            (123456789012345678 % (LIMB * LIMB), 42),
+        ],
+    )
+    def test_known_values(self, a, b):
+        hi, lo = call("__mpadd", a // LIMB, a % LIMB, b // LIMB, b % LIMB)
+        total = (a + b) % (LIMB * LIMB)
+        assert compose(hi & (LIMB - 1), lo) == total
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, LIMB * LIMB - 1), st.integers(0, LIMB * LIMB - 1))
+    def test_random_62_bit_addition(self, a, b):
+        hi, lo = call("__mpadd", a // LIMB, a % LIMB, b // LIMB, b % LIMB)
+        assert lo < LIMB, "the low limb keeps 31 bits"
+        assert compose(hi & (LIMB - 1), lo) == (a + b) % (LIMB * LIMB)
+
+
+class TestMultiprecisionSub:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (5, 3),
+            (LIMB, 1),                # borrow from the high limb
+            (LIMB * 5 + 2, LIMB * 2 + 7),
+            (LIMB * LIMB - 1, 1),
+        ],
+    )
+    def test_known_values(self, a, b):
+        hi, lo = call("__mpsub", a // LIMB, a % LIMB, b // LIMB, b % LIMB)
+        assert compose(hi & (LIMB - 1), lo) == (a - b) % (LIMB * LIMB)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, LIMB * LIMB - 1), st.integers(0, LIMB * LIMB - 1))
+    def test_random_62_bit_subtraction(self, a, b):
+        hi, lo = call("__mpsub", a // LIMB, a % LIMB, b // LIMB, b % LIMB)
+        assert lo < LIMB
+        assert compose(hi & (LIMB - 1), lo) == (a - b) % (LIMB * LIMB)

@@ -1,0 +1,255 @@
+"""Property-based end-to-end tests.
+
+The heavyweight invariant: a randomly generated mini-Pascal program,
+compiled at any optimization level and run on the *checking* simulator
+(which raises on any violated pipeline constraint), computes exactly
+what a Python evaluation of the same expressions computes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import BooleanStrategy, CompileOptions, compile_source
+from repro.isa.bits import MAX_INT32, MIN_INT32, s32, u32
+from repro.reorg import ALL_LEVELS, OptLevel
+from repro.sim import HazardMode, Machine
+
+
+# ---------------------------------------------------------------------------
+# random integer expressions
+# ---------------------------------------------------------------------------
+
+_VARS = ("va", "vb", "vc")
+
+
+def int_exprs(depth: int):
+    """(source text, python evaluator) pairs for integer expressions."""
+    leaf = st.one_of(
+        st.integers(0, 200).map(lambda v: (str(v), lambda env, v=v: v)),
+        st.sampled_from(_VARS).map(lambda n: (n, lambda env, n=n: env[n])),
+    )
+    if depth == 0:
+        return leaf
+
+    def combine(children):
+        op = children[0]
+        (ls, lf), (rs, rf) = children[1], children[2]
+        if op == "+":
+            return (f"({ls} + {rs})", lambda env: wrap(lf(env) + rf(env)))
+        if op == "-":
+            return (f"({ls} - {rs})", lambda env: wrap(lf(env) - rf(env)))
+        if op == "*":
+            return (f"({ls} * {rs})", lambda env: wrap(lf(env) * rf(env)))
+        if op == "div":
+            return (
+                f"({ls} div (1 + abs({rs})))",
+                lambda env: pascal_div(lf(env), 1 + abs_wrap(rf(env))),
+            )
+        return (
+            f"({ls} mod (1 + abs({rs})))",
+            lambda env: pascal_mod(lf(env), 1 + abs_wrap(rf(env))),
+        )
+
+    sub = int_exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["+", "-", "*", "div", "mod"]), sub, sub).map(combine),
+    )
+
+
+def wrap(value: int) -> int:
+    return s32(u32(value))
+
+
+def abs_wrap(value: int) -> int:
+    return abs(wrap(value)) if wrap(value) != MIN_INT32 else 0
+
+
+def pascal_div(a, b):
+    q = abs(a) // abs(b)
+    return wrap(q if (a < 0) == (b < 0) else -q)
+
+
+def pascal_mod(a, b):
+    return wrap(a - pascal_div(a, b) * b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    int_exprs(3),
+    st.integers(-100, 100),
+    st.integers(-100, 100),
+    st.integers(-100, 100),
+)
+def test_random_integer_expressions(expr, a, b, c):
+    source_text, evaluate = expr
+    env = {"va": a, "vb": b, "vc": c}
+    source = f"""
+    program rnd;
+    var va, vb, vc, r: integer;
+    begin
+      va := {a}; vb := {b}; vc := {c};
+      r := {source_text};
+      writeln(r)
+    end.
+    """
+    compiled = compile_source(source)
+    machine = Machine(compiled.program, hazard_mode=HazardMode.CHECKED)
+    machine.run(5_000_000)
+    expected = wrap(evaluate(env))
+    assert machine.output == [expected], source_text
+
+
+# ---------------------------------------------------------------------------
+# random boolean expressions, both strategies
+# ---------------------------------------------------------------------------
+
+
+def bool_exprs(depth: int):
+    relop = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+    leaf = st.tuples(relop, st.sampled_from(_VARS), st.sampled_from(_VARS)).map(
+        lambda t: (
+            f"({t[1]} {t[0]} {t[2]})",
+            lambda env, t=t: {
+                "=": env[t[1]] == env[t[2]],
+                "<>": env[t[1]] != env[t[2]],
+                "<": env[t[1]] < env[t[2]],
+                "<=": env[t[1]] <= env[t[2]],
+                ">": env[t[1]] > env[t[2]],
+                ">=": env[t[1]] >= env[t[2]],
+            }[t[0]],
+        )
+    )
+    if depth == 0:
+        return leaf
+
+    def combine(children):
+        op, (ls, lf), (rs, rf) = children
+        if op == "and":
+            return (f"({ls} and {rs})", lambda env: lf(env) and rf(env))
+        if op == "or":
+            return (f"({ls} or {rs})", lambda env: lf(env) or rf(env))
+        return (f"(not {ls})", lambda env: not lf(env))
+
+    sub = bool_exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["and", "or", "not"]), sub, sub).map(combine),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bool_exprs(3),
+    st.integers(-5, 5),
+    st.integers(-5, 5),
+    st.integers(-5, 5),
+    st.sampled_from(list(BooleanStrategy)),
+)
+def test_random_boolean_expressions(expr, a, b, c, strategy):
+    source_text, evaluate = expr
+    env = {"va": a, "vb": b, "vc": c}
+    source = f"""
+    program rnd;
+    var va, vb, vc: integer;
+        f: boolean;
+    begin
+      va := {a}; vb := {b}; vc := {c};
+      f := {source_text};
+      if f then writeln(1) else writeln(0);
+      if {source_text} then writeln(1) else writeln(0)
+    end.
+    """
+    compiled = compile_source(source, CompileOptions(boolean_strategy=strategy))
+    machine = Machine(compiled.program, hazard_mode=HazardMode.CHECKED)
+    machine.run(5_000_000)
+    expected = 1 if evaluate(env) else 0
+    assert machine.output == [expected, expected], source_text
+
+
+# ---------------------------------------------------------------------------
+# reorganizer equivalence on random straight-line register programs
+# ---------------------------------------------------------------------------
+
+
+def random_piece_program(draw_ops):
+    """Assembly text from a list of (op, a, b, dst) tuples."""
+    lines = ["start:  lim #4096, r10"]
+    for op, a, b, dst in draw_ops:
+        if op == "ld":
+            lines.append(f"        ld {a % 8}(r10), r{dst}")
+        elif op == "st":
+            lines.append(f"        st r{2 + a % 6}, {b % 8}(r10)")
+        else:
+            lines.append(f"        {op} r{2 + a % 6}, r{2 + b % 6}, r{dst}")
+    lines.append("        mov r2, r1")
+    lines.append("        trap #1")
+    lines.append("        mov r7, r1")
+    lines.append("        trap #1")
+    lines.append("        trap #0")
+    return "\n".join(lines)
+
+
+op_tuples = st.tuples(
+    st.sampled_from(["add", "sub", "xor", "and", "or", "ld", "st"]),
+    st.integers(0, 7),
+    st.integers(0, 7),
+    st.integers(2, 8),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(op_tuples, min_size=3, max_size=20))
+def test_reorganizer_equivalence_on_random_programs(ops):
+    from repro.asm import assemble_pieces
+    from repro.reorg import reorganize
+
+    source = random_piece_program(ops)
+    stream = assemble_pieces(source)
+    outputs = []
+    counts = []
+    for level in ALL_LEVELS:
+        result = reorganize(stream, level)
+        program = result.to_program(entry_symbol="start")
+        machine = Machine(program, hazard_mode=HazardMode.CHECKED)
+        machine.run(10_000)
+        outputs.append(machine.output)
+        counts.append(result.static_count)
+    assert all(o == outputs[0] for o in outputs), source
+    assert counts == sorted(counts, reverse=True), source
+
+
+# ---------------------------------------------------------------------------
+# layout equivalence: byte vs word allocation compute identically
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=12), st.integers(0, 11))
+def test_layout_equivalence_on_char_arrays(values, probe):
+    from repro.compiler import LayoutStrategy
+
+    probe = probe % len(values)
+    sets = "\n".join(
+        f"  s[{i}] := chr({v});" for i, v in enumerate(values)
+    )
+    source = f"""
+    program layoutprop;
+    var s: array [0..{len(values) - 1}] of char;
+        total, i: integer;
+    begin
+{sets}
+      total := 0;
+      for i := 0 to {len(values) - 1} do total := total + ord(s[i]);
+      writeln(total);
+      writeln(ord(s[{probe}]))
+    end.
+    """
+    results = []
+    for layout in LayoutStrategy:
+        compiled = compile_source(source, CompileOptions(layout=layout))
+        machine = Machine(compiled.program, hazard_mode=HazardMode.CHECKED)
+        machine.run(5_000_000)
+        results.append(machine.output)
+    assert results[0] == results[1] == [sum(values), values[probe]]

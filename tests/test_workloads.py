@@ -1,0 +1,133 @@
+"""The workload corpus: every program runs correctly under every layout."""
+
+import pytest
+
+from repro.compiler import CompileOptions, LayoutStrategy, compile_source
+from repro.sim import HazardMode, Machine
+from repro.workloads import (
+    CORPUS,
+    EXPECTED_OUTPUT,
+    QUICK_PROGRAMS,
+    fib,
+    puzzle_source,
+)
+
+
+@pytest.mark.parametrize("name", QUICK_PROGRAMS)
+def test_corpus_program_output(name, compile_cache):
+    compiled = compile_cache(CORPUS[name])
+    machine = Machine(compiled.program, hazard_mode=HazardMode.CHECKED)
+    machine.run(30_000_000)
+    assert machine.output == EXPECTED_OUTPUT[name]
+
+
+@pytest.mark.parametrize("name", ["scanner", "strings", "hashsym", "wordcount"])
+def test_text_programs_under_byte_layout(name, compile_cache):
+    compiled = compile_cache(
+        CORPUS[name], CompileOptions(layout=LayoutStrategy.BYTE_ALLOCATED)
+    )
+    machine = Machine(compiled.program, hazard_mode=HazardMode.CHECKED)
+    machine.run(30_000_000)
+    assert machine.output == EXPECTED_OUTPUT[name]
+
+
+class TestFibOracle:
+    def test_fib_values(self):
+        assert [fib(n) for n in range(8)] == [0, 1, 1, 2, 3, 5, 8, 13]
+
+
+class TestPuzzle:
+    def test_variants_have_distinct_shape(self):
+        sub = puzzle_source(0)
+        ptr = puzzle_source(1)
+        assert "p[i]" in sub or "p[0]" in sub
+        assert "pflat" in ptr and "pflat" not in sub
+
+    @pytest.mark.parametrize("variant", [0, 1])
+    def test_limited_search_is_deterministic(self, variant, compile_cache):
+        compiled = compile_cache(puzzle_source(variant, limit=25))
+        machine = Machine(compiled.program, hazard_mode=HazardMode.CHECKED)
+        machine.run(30_000_000)
+        # the Python oracle for limit=25 (validated against the full
+        # canonical kount of 2005) gives 38
+        assert machine.output == [38]
+
+    def test_python_oracle_full_solution(self):
+        """The transcription solves the real puzzle: kount = 2005."""
+        assert _puzzle_oracle(limit=0) == (True, 2005)
+
+    def test_python_oracle_limited(self):
+        assert _puzzle_oracle(limit=25) == (True, 38)
+
+    def test_both_variants_agree_dynamically(self, compile_cache):
+        outs = []
+        for variant in (0, 1):
+            compiled = compile_cache(puzzle_source(variant, limit=40))
+            machine = Machine(compiled.program)
+            machine.run(50_000_000)
+            outs.append(machine.output)
+        assert outs[0] == outs[1]
+
+
+def _puzzle_oracle(limit: int):
+    import sys
+
+    sys.setrecursionlimit(100_000)
+    D, SIZE, TYPEMAX = 8, 511, 12
+    puzzle = [True] * (SIZE + 1)
+    for i in range(1, 6):
+        for j in range(1, 6):
+            for k in range(1, 6):
+                puzzle[i + D * (j + D * k)] = False
+    pieces = [
+        (3, 1, 0, 0), (1, 0, 3, 0), (0, 3, 1, 0), (1, 3, 0, 0), (3, 0, 1, 0),
+        (0, 1, 3, 0), (2, 0, 0, 1), (0, 2, 0, 1), (0, 0, 2, 1), (1, 1, 0, 2),
+        (1, 0, 1, 2), (0, 1, 1, 2), (1, 1, 1, 3),
+    ]
+    p = [[False] * (SIZE + 1) for _ in range(TYPEMAX + 1)]
+    pclass, piecemax = [0] * 13, [0] * 13
+    for index, (im, jm, km, cls) in enumerate(pieces):
+        for i in range(im + 1):
+            for j in range(jm + 1):
+                for k in range(km + 1):
+                    p[index][i + D * (j + D * k)] = True
+        pclass[index], piecemax[index] = cls, im + D * jm + D * D * km
+    piececount = [13, 3, 1, 1]
+    kount = 0
+
+    def fit(i, j):
+        return all(not (p[i][k] and puzzle[j + k]) for k in range(piecemax[i] + 1))
+
+    def place(i, j):
+        for k in range(piecemax[i] + 1):
+            if p[i][k]:
+                puzzle[j + k] = True
+        piececount[pclass[i]] -= 1
+        for k in range(j, SIZE + 1):
+            if not puzzle[k]:
+                return k
+        return 0
+
+    def unplace(i, j):
+        for k in range(piecemax[i] + 1):
+            if p[i][k]:
+                puzzle[j + k] = False
+        piececount[pclass[i]] += 1
+
+    def trial(j):
+        nonlocal kount
+        if limit > 0 and kount >= limit:
+            return True
+        for i in range(TYPEMAX + 1):
+            if piececount[pclass[i]] and fit(i, j):
+                k = place(i, j)
+                if trial(k) or k == 0:
+                    kount += 1
+                    return True
+                unplace(i, j)
+        kount += 1
+        return False
+
+    m = 1 + D * (1 + D)
+    assert fit(0, m)
+    return trial(place(0, m)), kount
