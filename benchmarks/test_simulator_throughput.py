@@ -20,6 +20,18 @@ def test_simulator_throughput(benchmark):
     assert stats.words > 10_000
 
 
+def test_simulator_throughput_reference(benchmark):
+    """The precise per-step interpreter, for fast-path speedup tracking."""
+    compiled = compile_source(CORPUS["sort"])
+
+    def run():
+        machine = Machine(compiled.program)
+        return machine.run(10_000_000, fast=False)
+
+    stats = benchmark(run)
+    assert stats.words > 10_000
+
+
 def test_compiler_throughput(benchmark):
     source = puzzle_source(0)
 

@@ -1,6 +1,7 @@
 """Machine simulator: functional execution and pipeline timing."""
 
 from .cpu import Cpu, CpuStats, HazardMode
+from .fastpath import FastPathEngine
 from .faults import (
     BusError,
     ExceptionCause,
@@ -24,13 +25,14 @@ from .machine import (
 )
 from .memory import MemoryStats, MemorySystem, PhysicalMemory
 from .surprise import SurpriseRegister
-from .tracing import TraceRecord, format_trace, trace
+from .tracing import TraceRecord, format_trace, state_fingerprint, trace
 
 __all__ = [
     "BusError",
     "Cpu",
     "CpuStats",
     "ExceptionCause",
+    "FastPathEngine",
     "Halted",
     "HazardMode",
     "HazardViolation",
@@ -53,5 +55,6 @@ __all__ = [
     "TrapInstruction",
     "format_trace",
     "run_source",
+    "state_fingerprint",
     "trace",
 ]

@@ -158,6 +158,7 @@ class Cpu:
         self._forced_stream: List[int] = []  # pcs forced by rfs
         self._deferred_load: Dict[int, int] = {}  # reg number -> value in flight
         self._decode_cache: Dict[int, Tuple[int, InstructionWord]] = {}
+        self._fastpath = None  # lazily-built FastPathEngine
 
     # ------------------------------------------------------------------
     # address translation (the on-chip segmentation unit, section 3.1)
@@ -319,6 +320,19 @@ class Cpu:
             self._execute_at(self.pc)
         except MachineFault as fault:
             self._take_fault(fault)
+
+    def fastpath(self) -> "FastPathEngine":
+        """The threaded-code batch executor bound to this CPU (lazy).
+
+        The engine shares all architectural state with the reference
+        stepper; callers may freely interleave ``fastpath().run(...)``
+        with :meth:`step` -- see :mod:`repro.sim.fastpath`.
+        """
+        if self._fastpath is None:
+            from .fastpath import FastPathEngine
+
+            self._fastpath = FastPathEngine(self)
+        return self._fastpath
 
     def run(self, max_steps: int = 1_000_000) -> int:
         """Step repeatedly; returns the number of steps executed.

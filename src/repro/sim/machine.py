@@ -22,7 +22,8 @@ traps vector through the surprise sequence.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from collections import deque
+from typing import Deque, Iterable, List, Optional
 
 from ..asm.program import Program
 from ..isa.bits import s32
@@ -63,7 +64,9 @@ class Machine:
         self.cpu.trap_hook = self._service_trap
         self.output: List[int] = []
         self.char_output: List[str] = []
-        self.inputs: List[int] = list(inputs or [])
+        # a deque: trap #3 consumes from the front, and popleft is O(1)
+        # where list.pop(0) shifts the whole queue
+        self.inputs: Deque[int] = deque(inputs or [])
         self.halted = False
 
     # -- trap services -----------------------------------------------------
@@ -79,18 +82,33 @@ class Machine:
             self.char_output.append(chr(cpu.regs[1] & 0xFF))
             return True
         if code == TRAP_READ_INT:
-            cpu.regs[1] = self.inputs.pop(0) & 0xFFFFFFFF if self.inputs else 0
+            cpu.regs[1] = self.inputs.popleft() & 0xFFFFFFFF if self.inputs else 0
             return True
         return False
 
     # -- running --------------------------------------------------------------
 
-    def run(self, max_steps: int = 5_000_000) -> CpuStats:
+    def run(self, max_steps: int = 5_000_000, fast: bool = True) -> CpuStats:
         """Run until the program halts (trap #0); returns CPU statistics.
+
+        ``fast=True`` drives the threaded-code engine
+        (:mod:`repro.sim.fastpath`), which batches execution and only
+        falls back to the reference stepper on traps, faults, and
+        interlock events -- behaviour and statistics are bit-identical
+        to the per-step loop, which ``fast=False`` retains.
 
         Raises :class:`TimeoutError` when the step budget is exhausted
         -- runaway programs are bugs, and tests should see them.
         """
+        if fast:
+            engine = self.cpu.fastpath()
+            done = 0
+            while done < max_steps:
+                try:
+                    done += engine.run(max_steps - done)
+                except Halted:
+                    return self.cpu.stats
+            raise TimeoutError(f"program did not halt within {max_steps} steps")
         for _ in range(max_steps):
             try:
                 self.cpu.step()

@@ -73,6 +73,10 @@ class PhysicalMemory:
         self.size = size
         self._words: Dict[int, int] = {}
         self.stats = MemoryStats()
+        #: optional observer called with the address after any write or
+        #: poke -- the fast-path engine uses it to invalidate compiled
+        #: handlers when code is overwritten (DMA, loaders, stores)
+        self.watch_hook = None
 
     def _check(self, addr: int) -> None:
         if not 0 <= addr < self.size:
@@ -94,6 +98,8 @@ class PhysicalMemory:
         self._check(addr)
         self.stats.writes += 1
         self._words[addr] = u32(value)
+        if self.watch_hook is not None:
+            self.watch_hook(addr)
 
     # -- debugging / loading conveniences (not architectural accesses) -----
 
@@ -106,6 +112,8 @@ class PhysicalMemory:
         """Write without counting as a memory cycle (for tests/loaders)."""
         self._check(addr)
         self._words[addr] = u32(value)
+        if self.watch_hook is not None:
+            self.watch_hook(addr)
 
     def load_image(self, image: Dict[int, int], base: int = 0) -> None:
         """Install a program image (address -> word) at ``base``."""

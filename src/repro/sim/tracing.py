@@ -69,3 +69,43 @@ def trace(cpu: Cpu, max_steps: int = 1000) -> Iterator[TraceRecord]:
 def format_trace(records: List[TraceRecord]) -> str:
     """A printable listing of trace records."""
     return "\n".join(repr(record) for record in records)
+
+
+def state_fingerprint(cpu: Cpu) -> Dict[str, object]:
+    """Every observable piece of CPU + stats state, as one dict.
+
+    Used by the fast-path differential tests: two executions are
+    equivalent iff their fingerprints (plus memory contents and program
+    output) are equal.  Includes the in-flight pipeline state so that
+    equivalence holds at *any* step boundary, not just at halt.
+    """
+    stats = cpu.stats
+    return {
+        "pc": cpu.pc,
+        "regs": list(cpu.regs),
+        "lo": cpu.lo,
+        "surprise": cpu.surprise.value,
+        "xra": list(cpu.xra),
+        "seg_mask": cpu.seg_mask,
+        "seg_pid": cpu.seg_pid,
+        "interrupt_line": cpu.interrupt_line,
+        "deferred_load": dict(cpu._deferred_load),
+        "pending_branches": [tuple(e) for e in cpu._pending_branches],
+        "forced_stream": list(cpu._forced_stream),
+        "stats": {
+            "cycles": stats.cycles,
+            "words": stats.words,
+            "pieces": stats.pieces,
+            "noops": stats.noops,
+            "loads": stats.loads,
+            "stores": stats.stores,
+            "branches": stats.branches,
+            "branches_taken": stats.branches_taken,
+            "memory_cycles_used": stats.memory_cycles_used,
+            "free_memory_cycles": stats.free_memory_cycles,
+            "load_stalls": stats.load_stalls,
+            "branch_flush_cycles": stats.branch_flush_cycles,
+            "exceptions": stats.exceptions,
+            "ref_notes": dict(stats.ref_notes),
+        },
+    }

@@ -427,16 +427,33 @@ class Kernel:
 
     # -- running -----------------------------------------------------------------
 
-    def run(self, max_steps: int = 20_000_000) -> None:
-        """Run until every process exits (the kernel halts the machine)."""
+    def run(self, max_steps: int = 20_000_000, fast: bool = True) -> None:
+        """Run until every process exits (the kernel halts the machine).
+
+        ``fast=True`` batches kernel-mode execution through the
+        threaded-code engine (:mod:`repro.sim.fastpath`).  The timer
+        stays exact under batching: the engine is bounded by
+        ``cycle_limit`` and fast words are one cycle each, so the
+        interrupt is raised at the same step boundary the per-step loop
+        (retained under ``fast=False``) would have used.
+        """
         if not self.booted:
             self.boot()
         next_timer = self.quantum
-        for step in range(max_steps):
+        engine = self.cpu.fastpath() if fast else None
+        done = 0
+        while done < max_steps:
             try:
-                self.cpu.step()
+                if engine is not None:
+                    limit = next_timer if self.quantum else None
+                    done += engine.run(max_steps - done, cycle_limit=limit)
+                else:
+                    self.cpu.step()
+                    done += 1
             except MachineHalt:
-                self.steps_run += step
+                self.steps_run += done + (
+                    engine.last_run_steps if engine is not None else 0
+                )
                 return
             if self.quantum and self.cpu.stats.cycles >= next_timer:
                 self.interrupts.raise_source(INT_TIMER)

@@ -1,0 +1,179 @@
+"""Differential tests: the fast-path engine vs the reference stepper.
+
+The contract of :mod:`repro.sim.fastpath` is bit-for-bit equivalence
+with :meth:`repro.sim.cpu.Cpu.step` across every hazard mode: identical
+registers, memory, output, statistics, and fault behaviour.  These
+tests run the same programs through both and compare complete state
+fingerprints.
+"""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.isa.encoding import encode
+from repro.isa.pieces import MovImm
+from repro.isa.registers import Reg
+from repro.isa.words import InstructionWord
+from repro.reorg import OptLevel
+from repro.sim import HazardMode, HazardViolation, Machine, state_fingerprint
+from repro.sim.machine import run_source
+from repro.system.kernel import Kernel
+from repro.workloads import CORPUS
+
+#: a fast-running cross-section of the corpus (control flow, recursion,
+#: byte/string handling, memory traffic, input consumption)
+PROGRAMS = ("scanner", "strings", "sort", "calc", "fib_iterative")
+
+MODES = (HazardMode.BARE, HazardMode.CHECKED, HazardMode.INTERLOCKED)
+
+
+def _run_pair(program, mode, inputs=()):
+    """Run fast and reference instances; return both machines."""
+    machines = []
+    for fast in (True, False):
+        machine = Machine(program, hazard_mode=mode, inputs=list(inputs))
+        machine.run(60_000_000, fast=fast)
+        machines.append(machine)
+    return machines
+
+
+def _assert_identical(fast, ref):
+    assert state_fingerprint(fast.cpu) == state_fingerprint(ref.cpu)
+    assert fast.output == ref.output
+    assert fast.char_output == ref.char_output
+    assert fast.memory._words == ref.memory._words
+    fstats, rstats = fast.memory.stats, ref.memory.stats
+    assert (fstats.reads, fstats.writes, fstats.fetches) == (
+        rstats.reads,
+        rstats.writes,
+        rstats.fetches,
+    )
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_differential_corpus(name, mode):
+    """Fast path and reference stepper agree on the workload corpus.
+
+    ``INTERLOCKED`` runs naive code order (the hardware-interlock
+    ablation's configuration); the other modes run scheduled code.
+    """
+    opt = OptLevel.NONE if mode is HazardMode.INTERLOCKED else OptLevel.BRANCH_DELAY
+    program = compile_source(CORPUS[name], opt_level=opt).program
+    fast, ref = _run_pair(program, mode, inputs=[7, 3, 9])
+    _assert_identical(fast, ref)
+
+
+HAZARD_SOURCE = """
+        start:  mov #7, r1
+                ld @val, r1
+                mov r1, r2      ; reads r1 in its load delay slot
+                trap #0
+        val:    .word 42
+"""
+
+
+def test_checked_mode_raises_at_same_pc_through_batched_loop():
+    """CHECKED still raises HazardViolation, at the same PC, when batched."""
+    results = []
+    for fast in (True, False):
+        with pytest.raises(HazardViolation):
+            run_source(HAZARD_SOURCE, hazard_mode=HazardMode.CHECKED)
+        machine = Machine(
+            __import__("repro.asm.assembler", fromlist=["assemble"]).assemble(
+                HAZARD_SOURCE
+            ),
+            hazard_mode=HazardMode.CHECKED,
+        )
+        with pytest.raises(HazardViolation):
+            machine.run(fast=fast)
+        results.append(machine)
+    fast_m, ref_m = results
+    assert fast_m.cpu.pc == ref_m.cpu.pc
+    assert state_fingerprint(fast_m.cpu) == state_fingerprint(ref_m.cpu)
+
+
+READER_SOURCE = """
+        start:  trap #3
+                trap #1
+                trap #3
+                trap #1
+                trap #3
+                trap #1
+                trap #0
+"""
+
+
+@pytest.mark.parametrize("fast", (True, False), ids=("fast", "reference"))
+def test_input_queue_exhaustion_returns_zero(fast):
+    """Trap #3 beyond the queued inputs reads zero (and popleft is O(1))."""
+    from repro.asm.assembler import assemble
+
+    machine = Machine(assemble(READER_SOURCE), inputs=[5])
+    machine.run(fast=fast)
+    assert machine.output == [5, 0, 0]
+    assert len(machine.inputs) == 0
+
+
+SELF_MODIFY_SOURCE = """
+        start:  mov #0, r5
+        loop:   mov #1, r1      ; overwritten with `movi #2,r1` mid-run
+                trap #1
+                ld @patch, r2
+                nop
+                st r2, @loop
+                add r5, #1, r5
+                blo r5, #2, loop
+                nop
+                trap #0
+        patch:  .word 0
+"""
+
+
+def test_self_modifying_code_invalidates_compiled_handlers():
+    """A store over an already-executed word takes effect identically."""
+    from repro.asm.assembler import assemble
+
+    program = assemble(SELF_MODIFY_SOURCE)
+    patched_bits = encode(InstructionWord.single(MovImm(2, Reg(1))))
+    machines = []
+    for fast in (True, False):
+        machine = Machine(program)
+        machine.memory.poke(program.symbol("patch"), patched_bits)
+        machine.run(fast=fast)
+        machines.append(machine)
+    fast_m, ref_m = machines
+    assert fast_m.output == [1, 2]
+    _assert_identical(fast_m, ref_m)
+
+
+@pytest.mark.parametrize(
+    "quantum,max_frames", ((0, None), (700, None), (500, 8)),
+    ids=("run-to-exit", "preemptive", "paging-pressure"),
+)
+def test_kernel_differential(quantum, max_frames):
+    """Batched Kernel.run is exact: steps, timer quanta, paging, output."""
+    programs = [
+        compile_source(CORPUS[name]).program for name in ("fib_iterative", "calc")
+    ]
+    kernels = []
+    for fast in (True, False):
+        kernel = Kernel(quantum=quantum, inputs=[5, 6], max_frames=max_frames)
+        for program in programs:
+            kernel.add_process(program)
+        kernel.run(fast=fast)
+        kernels.append(kernel)
+    fast_k, ref_k = kernels
+    assert state_fingerprint(fast_k.cpu) == state_fingerprint(ref_k.cpu)
+    assert fast_k.steps_run == ref_k.steps_run
+    assert fast_k.physical._words == ref_k.physical._words
+    assert fast_k.pagemap.stats.__dict__ == ref_k.pagemap.stats.__dict__
+    fstats, rstats = fast_k.physical.stats, ref_k.physical.stats
+    assert (fstats.reads, fstats.writes, fstats.fetches) == (
+        rstats.reads,
+        rstats.writes,
+        rstats.fetches,
+    )
+    for pid in range(len(programs)):
+        assert fast_k.output(pid) == ref_k.output(pid)
+        assert fast_k.process_state(pid) == ref_k.process_state(pid)

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Benchmark snapshot and regression gate.
+
+Two subcommands:
+
+``run``
+    Executes the housekeeping throughput benchmarks
+    (``benchmarks/test_simulator_throughput.py`` via
+    ``pytest --benchmark-only``) and writes a dated snapshot,
+    ``BENCH_<YYYY-MM-DD>.json``, recording the mean/stddev wall time of
+    the simulator, compiler, and kernel-boot benchmarks.
+
+``compare``
+    Runs the same benchmarks and compares the fresh numbers against the
+    most recent committed ``BENCH_*.json`` snapshot (or an explicit
+    ``--against FILE``).  Exits non-zero if any benchmark's mean time
+    regressed by more than the threshold (default 20%).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py run
+    PYTHONPATH=src python tools/bench_report.py compare
+    PYTHONPATH=src python tools/bench_report.py compare --against BENCH_2026-08-06.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import glob
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_FILE = os.path.join("benchmarks", "test_simulator_throughput.py")
+DEFAULT_THRESHOLD = 0.20
+
+
+def _run_benchmarks() -> dict:
+    """Run the throughput benchmarks; return {name: {mean, stddev, rounds}}."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = os.path.join(tmp, "benchmark.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+        )
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            BENCH_FILE,
+            "--benchmark-only",
+            "-q",
+            f"--benchmark-json={raw_path}",
+        ]
+        result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if result.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {result.returncode})")
+        with open(raw_path) as fh:
+            raw = json.load(fh)
+    benchmarks = {}
+    for entry in raw["benchmarks"]:
+        stats = entry["stats"]
+        benchmarks[entry["name"]] = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return benchmarks
+
+
+def _snapshot_paths() -> list:
+    return sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    benchmarks = _run_benchmarks()
+    date = args.date or _dt.date.today().isoformat()
+    snapshot = {
+        "date": date,
+        "python": sys.version.split()[0],
+        "benchmarks": benchmarks,
+    }
+    out_path = os.path.join(REPO_ROOT, f"BENCH_{date}.json")
+    with open(out_path, "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {os.path.relpath(out_path, REPO_ROOT)}")
+    for name, stats in sorted(benchmarks.items()):
+        print(f"  {name}: {stats['mean_s'] * 1e3:.1f} ms")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    if args.against:
+        base_path = args.against
+        if not os.path.exists(base_path):
+            raise SystemExit(f"baseline snapshot not found: {base_path}")
+    else:
+        snapshots = _snapshot_paths()
+        if not snapshots:
+            print("no BENCH_*.json snapshot to compare against; skipping gate")
+            return 0
+        base_path = snapshots[-1]
+    with open(base_path) as fh:
+        baseline = json.load(fh)["benchmarks"]
+    print(f"baseline: {os.path.relpath(base_path, REPO_ROOT)}")
+    current = _run_benchmarks()
+
+    failures = []
+    for name, stats in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"  {name}: {stats['mean_s'] * 1e3:.1f} ms (new, no baseline)")
+            continue
+        ratio = stats["mean_s"] / base["mean_s"] if base["mean_s"] else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            failures.append((name, ratio))
+        print(
+            f"  {name}: {stats['mean_s'] * 1e3:.1f} ms vs "
+            f"{base['mean_s'] * 1e3:.1f} ms ({ratio:.0%} of baseline) {verdict}"
+        )
+    if failures:
+        worst = ", ".join(f"{name} ({ratio:.2f}x)" for name, ratio in failures)
+        print(f"FAIL: >{args.threshold:.0%} regression: {worst}")
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run benchmarks, write BENCH_<date>.json")
+    run_p.add_argument("--date", help="override the snapshot date stamp")
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run benchmarks, gate vs last snapshot")
+    cmp_p.add_argument("--against", help="explicit baseline snapshot path")
+    cmp_p.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="max tolerated slowdown fraction (default 0.20)",
+    )
+    cmp_p.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
