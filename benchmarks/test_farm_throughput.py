@@ -1,0 +1,79 @@
+"""Housekeeping benchmark: farm sharding throughput and fault tolerance.
+
+Not a paper result -- it tracks the batch-execution service itself:
+sharding the quick corpus over four workers must beat serial execution
+by >= 2x on a machine with at least four cores (on smaller runners the
+identity of the results is still asserted, only the speedup check is
+skipped), and injected worker crashes and hangs must be retried and
+recorded without losing or duplicating any job's result.
+"""
+
+import os
+import time
+
+from repro.farm import Job, Scheduler, aggregate, workload_jobs
+from repro.farm.store import stable_view
+from repro.workloads import QUICK_PROGRAMS
+
+PARALLEL_WORKERS = 4
+
+
+def _timed_batch(workers: int):
+    scheduler = Scheduler(jobs=workers, backoff_base_s=0.01, backoff_cap_s=0.1)
+    start = time.perf_counter()
+    records = scheduler.run(workload_jobs(QUICK_PROGRAMS))
+    return time.perf_counter() - start, records
+
+
+def test_farm_parallel_speedup():
+    serial_s, serial_records = _timed_batch(1)
+    parallel_s, parallel_records = _timed_batch(PARALLEL_WORKERS)
+
+    # sharding never changes the results, whatever the core count
+    assert [stable_view(r) for r in serial_records] == [
+        stable_view(r) for r in parallel_records
+    ]
+    assert all(r["status"] == "ok" for r in serial_records)
+
+    cores = os.cpu_count() or 1
+    print(
+        f"\nfarm: serial {serial_s:.2f}s, {PARALLEL_WORKERS} workers {parallel_s:.2f}s "
+        f"({serial_s / parallel_s:.2f}x) on {cores} cores"
+    )
+    if cores >= 4:
+        assert parallel_s * 2.0 <= serial_s, (
+            f"expected >= 2x speedup on a {cores}-core runner: "
+            f"serial {serial_s:.2f}s vs parallel {parallel_s:.2f}s"
+        )
+
+
+def test_farm_absorbs_crashes_and_hangs_without_losing_results():
+    chaos = [
+        Job(
+            kind="chaos",
+            name="crashy",
+            spec={"fail_attempts": 1, "mode": "crash"},
+            max_attempts=3,
+        ),
+        Job(
+            kind="chaos",
+            name="hangy",
+            spec={"fail_attempts": 1, "mode": "hang", "hang_s": 60.0},
+            timeout_s=1.0,
+            max_attempts=3,
+        ),
+    ]
+    jobs = [*chaos, *workload_jobs(QUICK_PROGRAMS)]
+    scheduler = Scheduler(jobs=PARALLEL_WORKERS, backoff_base_s=0.01, backoff_cap_s=0.1)
+    report = scheduler.run_report(jobs)
+
+    assert report.crashes == 1
+    assert report.timeouts == 1
+    assert report.retries >= 2
+    summary = aggregate(report.records)
+    assert summary["jobs"] == len(jobs)
+    assert summary["duplicates"] == []
+    assert summary["by_status"] == {"ok": len(jobs)}
+    by_name = {r["name"]: r for r in report.records}
+    assert by_name["crashy"]["attempts"] == 2
+    assert by_name["hangy"]["attempts"] == 2

@@ -40,6 +40,7 @@ def measure(
     opt_level: OptLevel = OptLevel.BRANCH_DELAY,
     max_steps: int = 30_000_000,
     register_allocation: bool = True,
+    jobs: int = 1,
 ) -> FreeCycleReport:
     """Free-cycle fractions over the corpus.
 
@@ -48,23 +49,44 @@ def measure(
     full optimization, the machine the paper measured.  Turning
     ``register_allocation`` off approximates the memory-heavier code of
     the paper's era compiler.
+
+    ``jobs > 1`` shards the per-program simulations across
+    :mod:`repro.farm` worker processes; the aggregate is identical to
+    the serial run (each program's simulation is independent and the
+    farm returns records in submission order).
     """
-    from ..compiler.codegen_mips import CompileOptions
+    from ..farm import Job, Scheduler
     from ..workloads import CORPUS, QUICK_PROGRAMS
 
     if sources is None:
         sources = {name: CORPUS[name] for name in QUICK_PROGRAMS}
-    options = CompileOptions(register_allocation=register_allocation)
+    job_list = [
+        Job(
+            kind="source",
+            name=name,
+            spec={"source": source, "register_allocation": register_allocation},
+            opt_level=opt_level.value,
+            max_steps=max_steps,
+        )
+        for name, source in sources.items()
+    ]
+    records = Scheduler(jobs=jobs).run(job_list)
     per_program: Dict[str, float] = {}
     total_words = 0
     total_free = 0
-    for name, source in sources.items():
-        compiled = compile_source(source, options, opt_level=opt_level)
-        machine = Machine(compiled.program)
-        stats = machine.run(max_steps)
-        per_program[name] = stats.free_cycle_fraction
-        total_words += stats.words
-        total_free += stats.free_memory_cycles
+    for record in records:
+        if record["status"] != "ok":
+            error = record.get("error") or {}
+            raise RuntimeError(
+                f"free-cycle measurement of {record['name']} failed "
+                f"[{record['status']}] {error.get('type', '')}: {error.get('message', '')}"
+            )
+        stats = record["stats"]
+        words = stats["words"]
+        free = stats["free_memory_cycles"]
+        per_program[record["name"]] = free / words if words else 0.0
+        total_words += words
+        total_free += free
     return FreeCycleReport(per_program, total_words, total_free)
 
 

@@ -5,7 +5,8 @@
 ``mips-sim file.s``       assemble and run (bare metal, trap I/O)
 ``mips-reorg file.s``     reorganize a piece stream at every level
 ``mipsc file.pas``        compile mini-Pascal and run it
-``mips-experiments``      run the paper's tables and figures
+``mips-experiments``      run the paper's tables and figures (``--jobs N``)
+``mips-farm``             batch simulation service: ``run`` / ``status``
 ========================  ===================================================
 """
 
@@ -13,6 +14,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+#: exit code when a guest program exhausts its --max-steps budget
+EXIT_STEP_BUDGET = 3
 
 
 def asm_main(argv=None) -> int:
@@ -32,7 +36,14 @@ def sim_main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="MIPS simulator (bare metal)")
     parser.add_argument("source", help="assembly source file")
     parser.add_argument("--mode", choices=["bare", "checked", "interlocked"], default="bare")
-    parser.add_argument("--max-steps", type=int, default=5_000_000)
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=5_000_000,
+        help="step budget: a program still running after this many steps "
+        "is reported as runaway instead of hanging the process "
+        "(default 5,000,000; the farm's per-job guard uses the same limit)",
+    )
     parser.add_argument("--input", type=int, action="append", default=[])
     args = parser.parse_args(argv)
     from .sim import HazardMode, Machine
@@ -44,7 +55,16 @@ def sim_main(argv=None) -> int:
             hazard_mode=HazardMode(args.mode),
             inputs=args.input,
         )
-    stats = machine.run(args.max_steps)
+    try:
+        stats = machine.run(args.max_steps)
+    except TimeoutError:
+        print(
+            f"error: program did not halt within {args.max_steps} steps "
+            f"(pc={machine.cpu.pc}, {machine.stats.cycles} cycles executed); "
+            "raise --max-steps if this is expected",
+            file=sys.stderr,
+        )
+        return EXIT_STEP_BUDGET
     for value in machine.output:
         print(value)
     if machine.output_text:
@@ -85,7 +105,14 @@ def compile_main(argv=None) -> int:
     parser.add_argument("source", help="mini-Pascal source file")
     parser.add_argument("--layout", choices=["word", "byte"], default="word")
     parser.add_argument("--no-run", action="store_true", help="only list the code")
-    parser.add_argument("--max-steps", type=int, default=30_000_000)
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=30_000_000,
+        help="step budget: a program still running after this many steps "
+        "is reported as runaway instead of hanging the process "
+        "(default 30,000,000; the farm's per-job guard uses the same limit)",
+    )
     parser.add_argument("--input", type=int, action="append", default=[])
     args = parser.parse_args(argv)
     from .compiler import CompileOptions, LayoutStrategy, compile_source
@@ -99,7 +126,16 @@ def compile_main(argv=None) -> int:
         print(compiled.reorg.listing())
         return 0
     machine = Machine(compiled.program, inputs=args.input)
-    stats = machine.run(args.max_steps)
+    try:
+        stats = machine.run(args.max_steps)
+    except TimeoutError:
+        print(
+            f"error: program did not halt within {args.max_steps} steps "
+            f"(pc={machine.cpu.pc}, {machine.stats.cycles} cycles executed); "
+            "raise --max-steps if this is expected",
+            file=sys.stderr,
+        )
+        return EXIT_STEP_BUDGET
     for value in machine.output:
         print(value)
     if machine.output_text:
@@ -119,17 +155,155 @@ def experiments_main(argv=None) -> int:
         nargs="*",
         help="experiments to run (default: all); e.g. table11 figure1",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="farm worker processes (default 1: in-process serial execution; "
+        "output is identical at any value)",
+    )
+    parser.add_argument(
+        "--results",
+        metavar="FILE",
+        help="also stream per-experiment result records to a JSON-lines file",
+    )
     args = parser.parse_args(argv)
-    from .experiments import REGISTRY
+    from .experiments import REGISTRY, run_named
+    from .farm import ResultStore
 
     names = args.names or list(REGISTRY)
     unknown = [n for n in names if n not in REGISTRY]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)} (have: {', '.join(REGISTRY)})")
-    for name in names:
-        print(REGISTRY[name]().render())
+    store = ResultStore(args.results) if args.results else None
+    try:
+        results = run_named(names, jobs=args.jobs, store=store)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if store is not None:
+            store.close()
+    for result in results:
+        print(result.render())
         print()
     return 0
+
+
+def farm_main(argv=None) -> int:
+    """``mips-farm``: batch workload execution over the simulation farm."""
+    parser = argparse.ArgumentParser(
+        description="sharded, fault-tolerant batch simulation service"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute a batch of simulation jobs")
+    run_p.add_argument(
+        "--workload",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="corpus program to simulate (repeatable; default: the quick corpus)",
+    )
+    run_p.add_argument(
+        "--experiment",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="paper experiment to run as a job (repeatable)",
+    )
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N", help="worker processes")
+    run_p.add_argument(
+        "--mode", choices=["bare", "checked", "interlocked"], default="bare"
+    )
+    run_p.add_argument(
+        "--opt",
+        choices=["none", "reorganize", "pack", "branch-delay"],
+        default="branch-delay",
+        help="postpass optimization level for compiled workloads",
+    )
+    run_p.add_argument(
+        "--no-regalloc",
+        action="store_true",
+        help="compile without register allocation (era-compiler mode)",
+    )
+    run_p.add_argument("--max-steps", type=int, default=30_000_000)
+    run_p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS", help="per-job wall budget"
+    )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts after a transient failure (default 2)",
+    )
+    run_p.add_argument(
+        "--results", metavar="FILE", help="stream result records to a JSON-lines file"
+    )
+
+    status_p = sub.add_parser("status", help="summarize a results file")
+    status_p.add_argument("results", help="JSON-lines file written by `mips-farm run`")
+
+    args = parser.parse_args(argv)
+    from .farm import ResultStore, Scheduler, aggregate, render_summary
+    from .farm.job import experiment_jobs, workload_jobs
+
+    if args.command == "status":
+        records = ResultStore.load(args.results)
+        summary = aggregate(records)
+        print(render_summary(summary))
+        return 0 if not summary["failures"] and not summary["duplicates"] else 1
+
+    from .experiments import REGISTRY
+    from .workloads import CORPUS, QUICK_PROGRAMS
+
+    workloads = args.workload or (list(QUICK_PROGRAMS) if not args.experiment else [])
+    bad = [n for n in workloads if n not in CORPUS]
+    bad += [n for n in args.experiment if n not in REGISTRY]
+    if bad:
+        parser.error(f"unknown workloads/experiments: {', '.join(bad)}")
+    job_list = list(
+        workload_jobs(
+            workloads,
+            hazard_mode=args.mode,
+            opt_level=args.opt,
+            max_steps=args.max_steps,
+            register_allocation=not args.no_regalloc,
+        )
+    ) + list(experiment_jobs(args.experiment))
+
+    kwargs = {}
+    if args.timeout is not None:
+        kwargs["timeout_s"] = args.timeout
+    if args.retries is not None:
+        kwargs["max_attempts"] = 1 + args.retries
+    store = ResultStore(args.results) if args.results else None
+    try:
+        scheduler = Scheduler(jobs=args.jobs, store=store, **kwargs)
+        report = scheduler.run_report(job_list)
+    finally:
+        if store is not None:
+            store.close()
+    for record in report.records:
+        status = record["status"]
+        line = f"{record['name']:24s} {status:8s} attempt(s)={record['attempts']}"
+        if record["stats"]:
+            line += f" cycles={record['cycles']} words={record['words']}"
+        if record["error"]:
+            line += f"  {record['error'].get('type', '')}: {record['error'].get('message', '')}"
+        print(line)
+    summary = aggregate(report.records)
+    mode = "serial (in-process)" if report.degraded_serial else f"{args.jobs} workers"
+    print()
+    print(
+        f"farm: {report.submitted} jobs via {mode}, "
+        f"{report.retries} retries, {report.crashes} crashes, "
+        f"{report.timeouts} timeouts, {report.wall_s:.2f}s wall"
+    )
+    print(render_summary(summary))
+    return 0 if summary["by_status"].get("ok", 0) == summary["jobs"] else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

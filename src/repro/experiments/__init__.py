@@ -1,6 +1,13 @@
-"""Reproductions of every table and figure in the paper's evaluation."""
+"""Reproductions of every table and figure in the paper's evaluation.
 
-from typing import Callable, Dict, List
+Experiments execute through :mod:`repro.farm`: each table/figure is one
+farm job, so ``run_all(jobs=4)`` shards the evaluation across worker
+processes while producing exactly the serial results (the registry
+order is the submission order, and the farm returns records in
+submission order regardless of completion order).
+"""
+
+from typing import Callable, Dict, List, Sequence
 
 from .base import ExperimentResult
 from .figures import figure1, figure2, figure3, figure4
@@ -40,9 +47,43 @@ REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def run_all() -> List[ExperimentResult]:
+def run_named(
+    names: Sequence[str],
+    jobs: int = 1,
+    store=None,
+    scheduler=None,
+) -> List[ExperimentResult]:
+    """Run the named experiments through the farm, in the given order.
+
+    ``jobs=1`` (the default) degrades to in-process serial execution --
+    the identical code path, so results match at any job count.  A
+    failed experiment raises with the worker's structured error rather
+    than returning a partial list.
+    """
+    from ..farm import Scheduler, experiment_jobs
+
+    unknown = [name for name in names if name not in REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown experiments: {', '.join(unknown)}")
+    if scheduler is None:
+        scheduler = Scheduler(jobs=jobs, store=store)
+    records = scheduler.run(experiment_jobs(names))
+    results: List[ExperimentResult] = []
+    for record in records:
+        payload = record.get("payload")
+        if record["status"] != "ok" or payload is None:
+            error = record.get("error") or {}
+            raise RuntimeError(
+                f"experiment {record['name']} failed "
+                f"[{record['status']}] {error.get('type', '')}: {error.get('message', '')}"
+            )
+        results.append(payload)
+    return results
+
+
+def run_all(jobs: int = 1, store=None) -> List[ExperimentResult]:
     """Run every experiment (tables first, then figures)."""
-    return [build() for build in REGISTRY.values()]
+    return run_named(list(REGISTRY), jobs=jobs, store=store)
 
 
 __all__ = [
@@ -54,6 +95,7 @@ __all__ = [
     "figure4",
     "free_cycles",
     "run_all",
+    "run_named",
     "table1",
     "table2",
     "table3",

@@ -1,0 +1,154 @@
+"""Job specifications for the simulation farm.
+
+A :class:`Job` names one unit of batch work -- a corpus workload to
+simulate, a raw source program, one of the paper's experiments, a DMA
+throughput run -- together with everything needed to execute it
+reproducibly: hazard mode, optimization level, step budget, input
+queue.  Jobs are pure data (no live objects), so they cross process
+boundaries cheaply and two structurally-equal jobs hash to the same
+**stable key**, which is what result caching and deduplication key on.
+
+The farm never mutates a job; per-attempt state (attempt counter,
+backoff deadline) lives in the scheduler.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+#: job kinds the worker knows how to execute (see repro.farm.worker)
+KIND_WORKLOAD = "workload"      # corpus program by name, compiled and simulated
+KIND_SOURCE = "source"          # inline mini-Pascal source text
+KIND_ASM = "asm"                # inline assembly source text
+KIND_EXPERIMENT = "experiment"  # one registered table/figure reproduction
+KIND_DMA = "dma"                # free-cycle DMA throughput over one workload
+KIND_BENCH = "bench"            # one pytest-benchmark test, run in isolation
+KIND_CHAOS = "chaos"            # fault-injection probe (tests only)
+
+ALL_KINDS = (
+    KIND_WORKLOAD,
+    KIND_SOURCE,
+    KIND_ASM,
+    KIND_EXPERIMENT,
+    KIND_DMA,
+    KIND_BENCH,
+    KIND_CHAOS,
+)
+
+
+def _canonical(value: Any) -> Any:
+    """A JSON-stable view of a spec value (tuples become lists)."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit of simulation work.
+
+    ``spec`` carries kind-specific parameters (source text, register
+    allocation flag, DMA transfer length, ...); everything else is the
+    common execution envelope.
+    """
+
+    kind: str
+    name: str
+    spec: Mapping[str, Any] = field(default_factory=dict)
+    hazard_mode: str = "bare"
+    opt_level: str = "branch-delay"
+    max_steps: int = 30_000_000
+    inputs: Tuple[int, ...] = ()
+    #: wall-clock budget; None means the scheduler default applies
+    timeout_s: Optional[float] = None
+    #: attempt cap; None means the scheduler default applies
+    max_attempts: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in ALL_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r} (have {', '.join(ALL_KINDS)})")
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "spec", dict(self.spec))
+
+    @property
+    def key(self) -> str:
+        """A stable digest of everything that determines the result.
+
+        Wall-clock knobs (timeout, attempt cap) are excluded: they
+        bound *how long* we wait, not *what* the job computes, so a job
+        keeps its key when the operator retunes the farm.
+        """
+        payload = json.dumps(
+            {
+                "kind": self.kind,
+                "name": self.name,
+                "spec": _canonical(self.spec),
+                "hazard_mode": self.hazard_mode,
+                "opt_level": self.opt_level,
+                "max_steps": self.max_steps,
+                "inputs": list(self.inputs),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The wire form sent to workers (plain picklable data)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "spec": dict(self.spec),
+            "hazard_mode": self.hazard_mode,
+            "opt_level": self.opt_level,
+            "max_steps": self.max_steps,
+            "inputs": list(self.inputs),
+            "timeout_s": self.timeout_s,
+            "max_attempts": self.max_attempts,
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        return cls(
+            kind=data["kind"],
+            name=data["name"],
+            spec=dict(data.get("spec", {})),
+            hazard_mode=data.get("hazard_mode", "bare"),
+            opt_level=data.get("opt_level", "branch-delay"),
+            max_steps=data.get("max_steps", 30_000_000),
+            inputs=tuple(data.get("inputs", ())),
+            timeout_s=data.get("timeout_s"),
+            max_attempts=data.get("max_attempts"),
+        )
+
+
+def workload_jobs(
+    names: Sequence[str],
+    hazard_mode: str = "bare",
+    opt_level: str = "branch-delay",
+    max_steps: int = 30_000_000,
+    register_allocation: bool = True,
+) -> Tuple[Job, ...]:
+    """One simulation job per named corpus workload."""
+    return tuple(
+        Job(
+            kind=KIND_WORKLOAD,
+            name=name,
+            spec={"register_allocation": register_allocation},
+            hazard_mode=hazard_mode,
+            opt_level=opt_level,
+            max_steps=max_steps,
+        )
+        for name in names
+    )
+
+
+def experiment_jobs(names: Sequence[str]) -> Tuple[Job, ...]:
+    """One job per registered experiment (table/figure) name."""
+    return tuple(Job(kind=KIND_EXPERIMENT, name=name) for name in names)

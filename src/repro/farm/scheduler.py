@@ -1,0 +1,345 @@
+"""The farm scheduler: shard jobs over worker processes, survive failures.
+
+Design (one supervisor, N persistent workers):
+
+- Each worker is a forked process looping over a private duplex pipe:
+  receive a job envelope, run :func:`repro.farm.worker.execute_job`,
+  send the record back.  Workers are *sharded* -- the supervisor hands
+  the next pending job to the first idle worker, so fast jobs drain
+  quickly and one slow shard cannot starve the rest.
+- Every dispatch carries a wall-clock **deadline**.  A worker that
+  blows it is killed and respawned; the job is retried (the hang may be
+  load noise) until its attempt cap, then recorded as a timeout.  The
+  in-machine ``max_steps`` guard -- the same one ``mips-sim
+  --max-steps`` exposes -- bounds runaway *guest* programs from the
+  inside, so the wall deadline only has to catch pathological host
+  behaviour.
+- A worker that **crashes** (non-zero exit, killed, pipe EOF) loses
+  only its in-flight job: the supervisor records the crash, respawns
+  the worker, and retries the job with capped exponential backoff.
+- When the pool is unavailable -- ``--jobs 1``, a sandbox that forbids
+  forking, or ``REPRO_FARM_SERIAL=1`` -- the scheduler **degrades to
+  in-process serial execution** over the identical
+  :func:`~repro.farm.worker.execute_job` path, so results are the same
+  bytes either way.
+
+Results are returned in *submission order* regardless of completion
+order; completion-order streaming happens through the optional
+:class:`~repro.farm.store.ResultStore`, whose aggregation is
+order-independent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .job import Job
+from .worker import crash_record, execute_job, strip_payload, wall_timeout_record
+
+#: default per-job wall-clock budget (generous: free_cycles runs minutes)
+DEFAULT_TIMEOUT_S = 600.0
+#: default attempt cap (first try + retries)
+DEFAULT_MAX_ATTEMPTS = 3
+#: exponential backoff: base * 2**(attempt-1), capped
+DEFAULT_BACKOFF_BASE_S = 0.25
+DEFAULT_BACKOFF_CAP_S = 4.0
+
+_ENV_FORCE_SERIAL = "REPRO_FARM_SERIAL"
+
+
+def _pick_context():
+    """Prefer fork (cheap, inherits warmed modules); fall back gracefully."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
+    """The worker loop: jobs in, records out, until told to stop."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message[0] == "stop":
+            return
+        _tag, index, attempt, job_dict = message
+        record = execute_job(job_dict, attempt=attempt, in_process=False)
+        try:
+            conn.send((index, attempt, record))
+        except (BrokenPipeError, OSError):
+            return
+
+
+@dataclass
+class _Pending:
+    index: int
+    job: Job
+    attempt: int = 1
+    ready_at: float = 0.0
+
+
+@dataclass
+class _WorkerHandle:
+    process: Any
+    conn: Any
+    current: Optional[_Pending] = None
+    deadline: float = 0.0
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join(1.0)
+
+
+@dataclass
+class FarmReport:
+    """What one scheduler run did, beyond the records themselves.
+
+    ``crashes`` and ``timeouts`` count *occurrences* (every worker death
+    and every wall-deadline kill), not final statuses -- a job that hung
+    once and succeeded on retry still shows up here.  Guest-level
+    timeouts (the in-machine step budget) are job results, visible in
+    the records, not farm interventions.
+    """
+
+    records: List[Dict[str, Any]]
+    submitted: int = 0
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    degraded_serial: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for r in self.records if r["status"] == "ok")
+
+
+class Scheduler:
+    """Batch executor over a pool of worker processes."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        store=None,
+        serial: Optional[bool] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.store = store
+        if serial is None:
+            serial = jobs <= 1 or bool(os.environ.get(_ENV_FORCE_SERIAL))
+        self.serial = serial
+        self._ctx = None
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job]) -> List[Dict[str, Any]]:
+        """Execute every job; records come back in submission order."""
+        return self.run_report(jobs).records
+
+    def run_report(self, jobs: Sequence[Job]) -> FarmReport:
+        started = time.monotonic()
+        jobs = list(jobs)
+        report = FarmReport(records=[], submitted=len(jobs))
+        if not jobs:
+            report.wall_s = time.monotonic() - started
+            return report
+        if self.serial:
+            report.degraded_serial = True
+            results = self._run_serial(jobs, report)
+        else:
+            try:
+                results = self._run_pool(jobs, report)
+            except OSError as exc:
+                # the environment refused to give us processes: degrade
+                print(
+                    f"repro.farm: worker pool unavailable ({exc}); "
+                    "falling back to in-process serial execution",
+                    file=sys.stderr,
+                )
+                report.degraded_serial = True
+                results = self._run_serial(jobs, report)
+        report.records = [results[i] for i in range(len(jobs))]
+        report.wall_s = time.monotonic() - started
+        return report
+
+    # -- shared plumbing ---------------------------------------------------
+
+    def _budget(self, job: Job) -> float:
+        return job.timeout_s if job.timeout_s is not None else self.timeout_s
+
+    def _attempt_cap(self, job: Job) -> int:
+        return job.max_attempts if job.max_attempts is not None else self.max_attempts
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self.backoff_base_s * (2 ** (attempt - 1)), self.backoff_cap_s)
+
+    def _finalize(self, results: Dict[int, Dict[str, Any]], pending: _Pending, record) -> None:
+        record = strip_payload(record) if record.get("payload") is None else dict(record)
+        record["index"] = pending.index
+        record["attempts"] = pending.attempt
+        record["job_key"] = pending.job.key
+        results[pending.index] = record
+        if self.store is not None:
+            self.store.append(record)
+
+    # -- serial fallback ---------------------------------------------------
+
+    def _run_serial(self, jobs: Sequence[Job], report: FarmReport) -> Dict[int, Dict[str, Any]]:
+        results: Dict[int, Dict[str, Any]] = {}
+        for index, job in enumerate(jobs):
+            pending = _Pending(index, job)
+            cap = self._attempt_cap(job)
+            while True:
+                record = execute_job(job.to_dict(), attempt=pending.attempt, in_process=True)
+                if record.get("retryable") and pending.attempt < cap:
+                    report.retries += 1
+                    time.sleep(self._backoff(pending.attempt))
+                    pending.attempt += 1
+                    continue
+                self._finalize(results, pending, record)
+                break
+        return results
+
+    # -- the pool ----------------------------------------------------------
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process=process, conn=parent_conn)
+
+    def _run_pool(self, jobs: Sequence[Job], report: FarmReport) -> Dict[int, Dict[str, Any]]:
+        from multiprocessing.connection import wait as conn_wait
+
+        self._ctx = _pick_context()
+        pending: deque = deque(_Pending(i, job) for i, job in enumerate(jobs))
+        results: Dict[int, Dict[str, Any]] = {}
+        idle: List[_WorkerHandle] = []
+        busy: List[_WorkerHandle] = []
+
+        def requeue_or_finalize(pending_job: _Pending, record) -> None:
+            cap = self._attempt_cap(pending_job.job)
+            if record.get("retryable") and pending_job.attempt < cap:
+                report.retries += 1
+                delay = self._backoff(pending_job.attempt)
+                pending.append(
+                    _Pending(
+                        pending_job.index,
+                        pending_job.job,
+                        pending_job.attempt + 1,
+                        time.monotonic() + delay,
+                    )
+                )
+            else:
+                self._finalize(results, pending_job, record)
+
+        try:
+            while len(results) < len(jobs):
+                now = time.monotonic()
+
+                # hand ready work to idle workers, spawning up to N
+                ready = [p for p in pending if p.ready_at <= now]
+                while ready and (idle or len(idle) + len(busy) < self.jobs):
+                    worker = idle.pop() if idle else self._spawn_worker()
+                    item = ready.pop(0)
+                    pending.remove(item)
+                    worker.current = item
+                    worker.deadline = now + self._budget(item.job)
+                    worker.conn.send(("job", item.index, item.attempt, item.job.to_dict()))
+                    busy.append(worker)
+
+                if not busy:
+                    # nothing in flight: we must be waiting out a backoff
+                    next_ready = min(p.ready_at for p in pending)
+                    time.sleep(max(0.0, min(next_ready - time.monotonic(), 0.5)))
+                    continue
+
+                # wait for a result, a death, or the nearest deadline
+                horizon = min(w.deadline for w in busy) - time.monotonic()
+                readable = conn_wait([w.conn for w in busy], timeout=max(0.0, min(horizon, 0.5)))
+
+                for worker in [w for w in busy if w.conn in readable]:
+                    item = worker.current
+                    try:
+                        _index, _attempt, record = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # the worker died mid-job: kill, count, retry
+                        report.crashes += 1
+                        worker.kill()
+                        busy.remove(worker)
+                        requeue_or_finalize(
+                            item,
+                            crash_record(
+                                item.job.to_dict(),
+                                item.attempt,
+                                f"worker exited with code {worker.process.exitcode}",
+                            ),
+                        )
+                        continue
+                    worker.current = None
+                    busy.remove(worker)
+                    idle.append(worker)
+                    requeue_or_finalize(item, record)
+
+                # enforce deadlines on whoever is still busy
+                now = time.monotonic()
+                for worker in [w for w in busy if w.deadline <= now]:
+                    item = worker.current
+                    report.timeouts += 1
+                    worker.kill()
+                    busy.remove(worker)
+                    requeue_or_finalize(
+                        item,
+                        wall_timeout_record(
+                            item.job.to_dict(), item.attempt, self._budget(item.job)
+                        ),
+                    )
+        finally:
+            for worker in idle:
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            for worker in idle + busy:
+                worker.kill()
+            for worker in idle + busy:
+                if worker.process.is_alive():  # pragma: no cover
+                    worker.process.join(1.0)
+        return results
+
+
+def run_jobs(
+    job_list: Sequence[Job],
+    jobs: int = 1,
+    store=None,
+    **kwargs,
+) -> List[Dict[str, Any]]:
+    """One-shot convenience: schedule ``job_list`` over ``jobs`` workers."""
+    return Scheduler(jobs=jobs, store=store, **kwargs).run(job_list)

@@ -1,0 +1,149 @@
+"""Command-line entry points: step-budget diagnostics and the farm CLI."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+from repro.cli import (
+    EXIT_STEP_BUDGET,
+    compile_main,
+    experiments_main,
+    farm_main,
+    sim_main,
+)
+
+RUNAWAY_ASM = """
+start:  jmp start
+        nop
+"""
+
+RUNAWAY_PASCAL = """
+program spin;
+var i: integer;
+begin
+  i := 0;
+  while i < 1000000000 do
+    i := i + 1
+end.
+"""
+
+
+@pytest.fixture
+def runaway_asm(tmp_path):
+    path = tmp_path / "loop.s"
+    path.write_text(RUNAWAY_ASM)
+    return str(path)
+
+
+class TestStepBudgetDiagnostic:
+    def test_sim_reports_runaway_instead_of_hanging(self, runaway_asm, capsys):
+        code = sim_main([runaway_asm, "--max-steps", "10000"])
+        assert code == EXIT_STEP_BUDGET
+        err = capsys.readouterr().err
+        assert "did not halt within 10000 steps" in err
+        assert "--max-steps" in err
+
+    def test_compile_reports_runaway_instead_of_hanging(self, tmp_path, capsys):
+        path = tmp_path / "spin.pas"
+        path.write_text(RUNAWAY_PASCAL)
+        code = compile_main([str(path), "--max-steps", "10000"])
+        assert code == EXIT_STEP_BUDGET
+        err = capsys.readouterr().err
+        assert "did not halt within 10000 steps" in err
+
+    def test_well_behaved_program_still_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "halt.s"
+        path.write_text("start: trap #0\n       nop\n")
+        assert sim_main([str(path)]) == 0
+
+
+class TestExperimentsJobsFlag:
+    NAMES = ["table5", "figure2"]
+
+    def test_jobs_flag_does_not_change_output(self, capsys):
+        assert experiments_main(self.NAMES + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert experiments_main(self.NAMES + ["--jobs", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert serial == sharded
+        assert "== Table 5" in serial
+
+    def test_unknown_experiment_is_an_argparse_error(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["not_a_table"])
+
+    def test_results_file_streams_records(self, tmp_path, capsys):
+        out = tmp_path / "records.jsonl"
+        assert experiments_main(["table5", "--results", str(out)]) == 0
+        capsys.readouterr()
+        (record,) = [json.loads(l) for l in out.read_text().splitlines() if l.strip()]
+        assert record["name"] == "table5"
+        assert record["status"] == "ok"
+
+
+class TestFarmCli:
+    def test_run_then_status_roundtrip(self, tmp_path, capsys):
+        results = tmp_path / "farm.jsonl"
+        code = farm_main(
+            [
+                "run",
+                "--workload",
+                "scanner",
+                "--workload",
+                "logic",
+                "--jobs",
+                "2",
+                "--results",
+                str(results),
+            ]
+        )
+        run_out = capsys.readouterr().out
+        assert code == 0
+        assert "scanner" in run_out and "logic" in run_out
+        assert "2 jobs" in run_out
+
+        assert farm_main(["status", str(results)]) == 0
+        status_out = capsys.readouterr().out
+        assert "jobs:        2" in status_out
+        assert "ok=2" in status_out
+        # the digest in status must match the one printed by run
+        digest_lines = [l for l in run_out.splitlines() if l.startswith("digest:")]
+        assert digest_lines and digest_lines[0] in status_out
+
+    def test_failing_batch_exits_nonzero(self, capsys):
+        code = farm_main(["run", "--workload", "scanner", "--max-steps", "10"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "timeout" in out
+
+    def test_unknown_workload_is_an_argparse_error(self):
+        with pytest.raises(SystemExit):
+            farm_main(["run", "--workload", "nonsense"])
+
+
+def _load_bench_report():
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(repo_root, "tools", "bench_report.py")
+    spec = importlib.util.spec_from_file_location("bench_report", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchGateMessage:
+    def test_names_worst_regressor_first(self):
+        bench_report = _load_bench_report()
+        failures = [("test_compiler_throughput", 1.25), ("test_simulator_throughput", 1.80)]
+        message = bench_report.format_gate_failure(failures, threshold=0.20)
+        first_line = message.splitlines()[0]
+        assert "worst regression: test_simulator_throughput" in first_line
+        assert "180%" in first_line
+        assert "test_compiler_throughput (1.25x)" in message
+
+    def test_single_failure_has_no_also_line(self):
+        bench_report = _load_bench_report()
+        message = bench_report.format_gate_failure([("test_kernel_boot_throughput", 1.5)], 0.20)
+        assert "also regressed" not in message
+        assert "test_kernel_boot_throughput" in message

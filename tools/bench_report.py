@@ -5,16 +5,24 @@ Two subcommands:
 
 ``run``
     Executes the housekeeping throughput benchmarks
-    (``benchmarks/test_simulator_throughput.py`` via
-    ``pytest --benchmark-only``) and writes a dated snapshot,
-    ``BENCH_<YYYY-MM-DD>.json``, recording the mean/stddev wall time of
-    the simulator, compiler, and kernel-boot benchmarks.
+    (``benchmarks/test_simulator_throughput.py``, one
+    ``pytest --benchmark-only`` farm job per benchmark) and writes a
+    dated snapshot, ``BENCH_<YYYY-MM-DD>.json``, recording the
+    mean/stddev wall time of the simulator, compiler, and kernel-boot
+    benchmarks.
 
 ``compare``
     Runs the same benchmarks and compares the fresh numbers against the
     most recent committed ``BENCH_*.json`` snapshot (or an explicit
     ``--against FILE``).  Exits non-zero if any benchmark's mean time
-    regressed by more than the threshold (default 20%).
+    regressed by more than the threshold (default 20%); the failure
+    message names the worst-regressing benchmark.
+
+Benchmark execution goes through :mod:`repro.farm`: each benchmark is
+one job with a wall-clock budget and transient-failure retries, and
+``--jobs N`` shards them over worker processes (keep the default of 1
+for timing fidelity on small machines -- concurrent benchmarks steal
+each other's cycles).
 
 Usage::
 
@@ -32,43 +40,78 @@ import json
 import os
 import subprocess
 import sys
-import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_FILE = os.path.join("benchmarks", "test_simulator_throughput.py")
 DEFAULT_THRESHOLD = 0.20
+#: generous per-benchmark wall budget; a wedged benchmark is killed,
+#: retried once, and reported instead of hanging CI
+BENCH_TIMEOUT_S = 900.0
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 
-def _run_benchmarks() -> dict:
-    """Run the throughput benchmarks; return {name: {mean, stddev, rounds}}."""
-    with tempfile.TemporaryDirectory() as tmp:
-        raw_path = os.path.join(tmp, "benchmark.json")
-        env = dict(os.environ)
-        env["PYTHONPATH"] = os.pathsep.join(
-            p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+def _collect_benchmark_names() -> list:
+    """The benchmark test names, in file order (via pytest collection)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    result = subprocess.run(
+        # -o addopts= neutralizes the project's default -q so the node
+        # ids (not just a per-file count) are printed
+        [sys.executable, "-m", "pytest", BENCH_FILE, "--collect-only", "-q", "-o", "addopts="],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        raise SystemExit(
+            f"benchmark collection failed (exit {result.returncode}):\n{result.stdout}{result.stderr}"
         )
-        cmd = [
-            sys.executable,
-            "-m",
-            "pytest",
-            BENCH_FILE,
-            "--benchmark-only",
-            "-q",
-            f"--benchmark-json={raw_path}",
-        ]
-        result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
-        if result.returncode != 0:
-            raise SystemExit(f"benchmark run failed (exit {result.returncode})")
-        with open(raw_path) as fh:
-            raw = json.load(fh)
+    names = []
+    for line in result.stdout.splitlines():
+        if "::" in line:
+            names.append(line.split("::", 1)[1].strip())
+    if not names:
+        raise SystemExit(f"no benchmarks collected from {BENCH_FILE}")
+    return names
+
+
+def _run_benchmarks(jobs: int = 1) -> dict:
+    """Run the throughput benchmarks; return {name: {mean, stddev, rounds}}.
+
+    Each benchmark is submitted as a farm job: isolated interpreter,
+    per-job timeout, transient failures retried with backoff.
+    """
+    from repro.farm import Job, Scheduler
+
+    names = _collect_benchmark_names()
+    job_list = [
+        Job(
+            kind="bench",
+            name=name,
+            spec={
+                "file": BENCH_FILE,
+                "cwd": REPO_ROOT,
+                "pythonpath": [os.path.join(REPO_ROOT, "src")],
+            },
+            timeout_s=BENCH_TIMEOUT_S,
+        )
+        for name in names
+    ]
+    records = Scheduler(jobs=jobs, max_attempts=2).run(job_list)
     benchmarks = {}
-    for entry in raw["benchmarks"]:
-        stats = entry["stats"]
-        benchmarks[entry["name"]] = {
-            "mean_s": stats["mean"],
-            "stddev_s": stats["stddev"],
-            "rounds": stats["rounds"],
-        }
+    failed = []
+    for record in records:
+        if record["status"] != "ok":
+            error = record.get("error") or {}
+            failed.append(f"{record['name']} [{record['status']}] {error.get('message', '')}")
+            continue
+        benchmarks[record["name"]] = dict(record["extra"]["bench"])
+    if failed:
+        raise SystemExit("benchmark run failed:\n" + "\n".join(failed))
     return benchmarks
 
 
@@ -76,8 +119,27 @@ def _snapshot_paths() -> list:
     return sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
 
 
+def format_gate_failure(failures: list, threshold: float) -> str:
+    """The regression-gate failure message.
+
+    Names the worst-regressing benchmark explicitly (not just a mean
+    delta) so a red CI run says what to look at; the rest follow.
+    """
+    worst_name, worst_ratio = max(failures, key=lambda item: item[1])
+    lines = [
+        f"FAIL: worst regression: {worst_name} at {worst_ratio:.0%} of baseline "
+        f"(+{(worst_ratio - 1):.0%}, threshold +{threshold:.0%})"
+    ]
+    others = [(n, r) for n, r in sorted(failures, key=lambda item: -item[1]) if n != worst_name]
+    if others:
+        lines.append(
+            "also regressed: " + ", ".join(f"{name} ({ratio:.2f}x)" for name, ratio in others)
+        )
+    return "\n".join(lines)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    benchmarks = _run_benchmarks()
+    benchmarks = _run_benchmarks(jobs=args.jobs)
     date = args.date or _dt.date.today().isoformat()
     snapshot = {
         "date": date,
@@ -108,7 +170,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     with open(base_path) as fh:
         baseline = json.load(fh)["benchmarks"]
     print(f"baseline: {os.path.relpath(base_path, REPO_ROOT)}")
-    current = _run_benchmarks()
+    current = _run_benchmarks(jobs=args.jobs)
 
     failures = []
     for name, stats in sorted(current.items()):
@@ -126,8 +188,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             f"{base['mean_s'] * 1e3:.1f} ms ({ratio:.0%} of baseline) {verdict}"
         )
     if failures:
-        worst = ", ".join(f"{name} ({ratio:.2f}x)" for name, ratio in failures)
-        print(f"FAIL: >{args.threshold:.0%} regression: {worst}")
+        print(format_gate_failure(failures, args.threshold))
         return 1
     print("benchmark gate passed")
     return 0
@@ -139,6 +200,12 @@ def main(argv=None) -> int:
 
     run_p = sub.add_parser("run", help="run benchmarks, write BENCH_<date>.json")
     run_p.add_argument("--date", help="override the snapshot date stamp")
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="farm workers (default 1; parallel benchmarks perturb timings)",
+    )
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="run benchmarks, gate vs last snapshot")
@@ -148,6 +215,12 @@ def main(argv=None) -> int:
         type=float,
         default=DEFAULT_THRESHOLD,
         help="max tolerated slowdown fraction (default 0.20)",
+    )
+    cmp_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="farm workers (default 1; parallel benchmarks perturb timings)",
     )
     cmp_p.set_defaults(func=cmd_compare)
 
