@@ -1,0 +1,91 @@
+"""Housekeeping benchmark: the chaos subsystem must be free when idle.
+
+The fault-injection engine drives execution through the resumable
+``run_steps`` primitives and a per-fault observer hook.  Both are on
+the simulator's production path even when no chaos plan is armed, so
+this file pins their unarmed cost: the full ``Machine.run`` plumbing
+(and an installed-but-never-fired observer) must stay within 5% of
+driving the threaded-code engine directly.
+
+Timing uses best-of-N ``perf_counter`` minima rather than the
+``benchmark`` fixture: the assertion is a *ratio* between two paths
+measured in the same process, and the minimum is robust against
+one-sided scheduler noise.
+"""
+
+import time
+
+from repro.asm import assemble
+from repro.sim import Machine
+from repro.sim.faults import Halted
+
+ROUNDS = 9
+#: ~1.8M executed words: long enough that per-run Python overhead
+#: (a few loop iterations and attribute tests) is measurable as a
+#: ratio, short enough for CI
+LOOP_SOURCE = """
+start:  mov #0, r8
+        lim #300000, r9
+loop:   add r8, #1, r8
+        blo r8, r9, loop
+        nop
+        trap #0
+"""
+
+
+def _best_of_interleaved(fns, rounds=ROUNDS):
+    """Best-of-N for several paths, round-robin so slow drift in CPU
+    frequency or cache state hits every path equally."""
+    best = [float("inf")] * len(fns)
+    for _ in range(rounds):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best
+
+
+def test_unarmed_chaos_plumbing_is_free():
+    program = assemble(LOOP_SOURCE)
+
+    def raw_engine():
+        # the floor: the threaded-code engine driven directly, no
+        # run_steps loop, no halt bookkeeping
+        machine = Machine(program)
+        engine = machine.cpu.fastpath()
+        try:
+            engine.run(10_000_000)
+        except Halted:
+            pass
+        return machine
+
+    def full_run():
+        # the production path: Machine.run -> run_steps -> engine
+        machine = Machine(program)
+        machine.run(10_000_000)
+        return machine
+
+    def full_run_with_observer():
+        # worst unarmed case: an observer is installed (as the chaos
+        # checker does) but no fault ever fires it
+        machine = Machine(program)
+        machine.cpu.fault_observer = lambda cpu, fault, sr, pc: None
+        machine.run(10_000_000)
+        return machine
+
+    # warm up allocators and code caches before timing anything
+    raw_engine()
+    full_run()
+
+    floor, plumbing, observed = _best_of_interleaved(
+        [raw_engine, full_run, full_run_with_observer]
+    )
+
+    assert plumbing / floor < 1.05, (
+        f"run_steps plumbing costs {100 * (plumbing / floor - 1):.1f}% "
+        f"over the raw engine ({plumbing:.4f}s vs {floor:.4f}s)"
+    )
+    assert observed / floor < 1.05, (
+        f"an idle fault observer costs {100 * (observed / floor - 1):.1f}% "
+        f"over the raw engine ({observed:.4f}s vs {floor:.4f}s)"
+    )

@@ -1,0 +1,31 @@
+"""Deterministic fault injection with recovery verification.
+
+The paper's recovery story (sections 3.2-3.3) rests on one surprise
+register and a software dispatch routine; this package adversarially
+proves the reproduction's kernel, fastpath bail logic, and paging/DMA
+machinery actually recover under injected faults.  Everything is seeded
+and byte-reproducible: ``mips-chaos run --seed N`` emits identical JSONL
+records and aggregate digests on every run.
+"""
+
+from .campaigns import CAMPAIGNS, campaign_record, run_campaign, run_campaign_plan
+from .engine import ChaosRun, run_plan
+from .invariants import RecoveryContractChecker, check_panic_record
+from .plan import ChaosPlan, Injection, injection, make_plan
+from .shrink import shortest_failing_prefix
+
+__all__ = [
+    "CAMPAIGNS",
+    "ChaosPlan",
+    "ChaosRun",
+    "Injection",
+    "RecoveryContractChecker",
+    "campaign_record",
+    "check_panic_record",
+    "injection",
+    "make_plan",
+    "run_campaign",
+    "run_campaign_plan",
+    "run_plan",
+    "shortest_failing_prefix",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.chaos`` -- the mips-chaos entry point (used by CI)."""
+
+import sys
+
+from ..cli import chaos_main
+
+if __name__ == "__main__":
+    sys.exit(chaos_main())

@@ -1,0 +1,115 @@
+"""The recovery contract of the paper, as runtime-checked invariants.
+
+Section 3.2-3.3 promises that one surprise register plus software
+dispatch at address zero is enough to recover from *every* exception
+class.  That promise decomposes into checkable pieces, validated on
+every surprise sequence the machine runs (not only injected ones):
+
+- **forced entry state** -- the handler starts in supervisor mode with
+  interrupts, mapping, and overflow traps off;
+- **previous-field save** -- the pre-exception privilege/interrupt/
+  mapping/overflow bits land exactly in the previous fields (what
+  ``rfs`` will restore);
+- **cause fields** -- the two cause fields identify the exception that
+  actually happened;
+- **dispatch** -- the PC is zeroed, and the three saved return
+  addresses begin at the interrupted instruction ("the offending
+  instruction, its successor, and then the target of the branch");
+- **single-level window** -- the machine knows it is inside the
+  exception path (a second fault must become a structured panic, never
+  silent state loss).
+
+The checker installs as :attr:`repro.sim.cpu.Cpu.fault_observer`, so it
+costs one attribute test per *fault* and nothing per instruction --
+which is what keeps the unarmed chaos overhead under the benchmark
+gate's 5%.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from ..sim.surprise import SurpriseRegister
+
+
+class RecoveryContractChecker:
+    """Observes every surprise sequence; accumulates violations."""
+
+    def __init__(self) -> None:
+        self.violations: List[Dict[str, Any]] = []
+        self.observed = 0
+
+    def install(self, cpu) -> None:
+        cpu.fault_observer = self.observe
+
+    def _fail(self, check: str, detail: str, step: int) -> None:
+        self.violations.append({"check": check, "detail": detail, "step": step})
+
+    def observe(self, cpu, fault, pre_surprise: int, pre_pc: int) -> None:
+        self.observed += 1
+        sr = cpu.surprise
+        step = cpu.stats.words
+        if not sr.supervisor:
+            self._fail("entry-supervisor", "handler entered at user level", step)
+        if sr.interrupts_enabled:
+            self._fail("entry-interrupts-off", "interrupts left enabled on entry", step)
+        if sr.mapping_enabled:
+            self._fail("entry-mapping-off", "mapping left enabled on entry", step)
+        if sr.overflow_traps_enabled:
+            self._fail("entry-overflow-off", "overflow traps left enabled on entry", step)
+        # the whole transition at once: replaying enter_exception from the
+        # saved pre-state must land on exactly the value the hardware made
+        reference = SurpriseRegister(value=pre_surprise)
+        reference.enter_exception(fault.cause, fault.minor & 0xFFF)
+        if sr.value != reference.value:
+            self._fail(
+                "previous-field-save",
+                f"surprise {sr.value:#010x} != expected {reference.value:#010x} "
+                f"from pre-state {pre_surprise:#010x}",
+                step,
+            )
+        if sr.major_cause is not fault.cause:
+            self._fail(
+                "major-cause",
+                f"recorded {sr.major_cause.name}, fault was {fault.cause.name}",
+                step,
+            )
+        if sr.minor_cause != (fault.minor & 0xFFF):
+            self._fail(
+                "minor-cause",
+                f"recorded {sr.minor_cause}, fault carried {fault.minor & 0xFFF}",
+                step,
+            )
+        if cpu.pc != 0:
+            self._fail("dispatch-pc-zero", f"pc={cpu.pc} after surprise sequence", step)
+        xra = list(cpu.xra)
+        if len(xra) != 3:
+            self._fail("xra-count", f"{len(xra)} saved return addresses", step)
+        elif xra[0] != pre_pc:
+            self._fail(
+                "xra-resume",
+                f"first return address {xra[0]} != interrupted pc {pre_pc}",
+                step,
+            )
+        if not cpu.in_exception:
+            self._fail("exception-window", "in_exception not set after entry", step)
+
+
+PANIC_FIELDS = (
+    "panic",
+    "handling_cause",
+    "handling_minor",
+    "fault_cause",
+    "fault_minor",
+    "xra",
+    "pc",
+)
+
+
+def check_panic_record(record: Mapping[str, Any]) -> List[str]:
+    """Structural problems with a PANIC record; empty means well-formed."""
+    problems = [f"missing field {field!r}" for field in PANIC_FIELDS if field not in record]
+    xra = record.get("xra")
+    if not problems and (not isinstance(xra, list) or len(xra) != 3):
+        problems.append("xra must list the three saved return addresses")
+    return problems

@@ -1,0 +1,113 @@
+"""Reproducible fault-injection plans.
+
+A plan is pure data: a seed, a campaign name, and a sorted tuple of
+:class:`Injection` records, each naming the absolute instruction-word
+boundary (``cpu.stats.words``) at which it fires, the fault kind, and
+its parameters.  Two runs of the same plan against the same scenario are
+byte-for-byte identical -- every randomized choice is drawn from
+``random.Random`` seeded by the plan (stable across Python versions),
+and all runtime choices iterate ``sorted()`` views.
+
+Kinds understood by :mod:`repro.chaos.engine`:
+
+===============  ==========================================================
+``reg-flip``     XOR one bit of one general register
+``mem-flip``     XOR one bit of one physical memory word
+``spurious-int`` raise the interrupt line with no pending source
+``int-burst``    raise the timer source (storm pressure; duplicates
+                 coalesce in the controller, as in the hardware)
+``pagemap-drop`` unmap a *clean* page-map entry (forces a re-fault; the
+                 demand pager must transparently reload it)
+``dma-corrupt``  run a free-cycle DMA transfer with a bit flipped in its
+                 source window mid-flight; corruption must stay confined
+``timer-stall``  park the timer device for N words (stall/timeout)
+``refault``      deliver a synthetic fault at a normal boundary (the
+                 kernel kills the current process and must isolate it)
+``kernel-refault`` deliver a synthetic fault *inside* a handler -- a
+                 double fault; the machine must panic cleanly
+===============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Tuple
+
+KINDS = (
+    "reg-flip",
+    "mem-flip",
+    "spurious-int",
+    "int-burst",
+    "pagemap-drop",
+    "dma-corrupt",
+    "timer-stall",
+    "refault",
+    "kernel-refault",
+)
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One planned fault: fires at the ``step``-th executed word."""
+
+    step: int
+    kind: str
+    #: sorted (key, value) pairs -- tuples so the dataclass stays hashable
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param(self, key: str, default: Any = None) -> Any:
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"step": self.step, "kind": self.kind, "params": dict(self.params)}
+
+
+def injection(step: int, kind: str, **params: Any) -> Injection:
+    if kind not in KINDS:
+        raise ValueError(f"unknown injection kind {kind!r} (have {', '.join(KINDS)})")
+    return Injection(step=step, kind=kind, params=tuple(sorted(params.items())))
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seed-reproducible injection schedule for one campaign run."""
+
+    seed: int
+    campaign: str
+    injections: Tuple[Injection, ...] = ()
+
+    def prefix(self, n: int) -> "ChaosPlan":
+        """The plan truncated to its first ``n`` injections (shrinking)."""
+        return ChaosPlan(self.seed, self.campaign, self.injections[:n])
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "campaign": self.campaign,
+            "injections": [inj.to_dict() for inj in self.injections],
+        }
+
+
+def make_plan(seed: int, campaign: str, injections: Iterable[Injection]) -> ChaosPlan:
+    """Build a plan with its injections in canonical (step) order."""
+    ordered = tuple(sorted(injections, key=lambda i: (i.step, i.kind, i.params)))
+    return ChaosPlan(seed=seed, campaign=campaign, injections=ordered)
+
+
+def plan_rng(seed: int) -> random.Random:
+    """The generator used while *building* a plan."""
+    return random.Random(seed)
+
+
+def apply_rng(seed: int, index: int) -> random.Random:
+    """The generator for apply-time choices of injection ``index``.
+
+    Derived, not shared: the plan builder and every injection draw from
+    independent streams, so adding a parameter to one injection can
+    never perturb another's choices.
+    """
+    return random.Random(seed * 1_000_003 + index + 1)

@@ -1,0 +1,48 @@
+"""Plan shrinking: minimize a failing plan to its shortest prefix.
+
+When a campaign surfaces a violation, the interesting injection is
+usually one of many.  :func:`shortest_failing_prefix` binary-searches
+the shortest plan prefix that still reproduces the failure -- O(log n)
+runs when the failure is monotone in the prefix (adding injections never
+un-breaks it), with a linear fallback when it is not.  Plans are
+deterministic, so the returned prefix reproduces the failure on every
+rerun of the same seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .plan import ChaosPlan
+
+
+def shortest_failing_prefix(
+    plan: ChaosPlan, fails: Callable[[ChaosPlan], bool]
+) -> ChaosPlan:
+    """The shortest ``plan.prefix(k)`` on which ``fails`` still holds.
+
+    ``fails(plan)`` must be True (the caller saw the failure).  The
+    predicate is re-evaluated, never assumed: if binary search lands on
+    a prefix that does not actually fail (a non-monotone interaction
+    between injections), a linear scan finds the true shortest failing
+    prefix; if even the full plan no longer fails, the full plan is
+    returned unchanged.
+    """
+    count = len(plan.injections)
+    if count == 0:
+        return plan
+    lo, hi = 1, count
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if fails(plan.prefix(mid)):
+            hi = mid
+        else:
+            lo = mid + 1
+    candidate = plan.prefix(lo)
+    if fails(candidate) and (lo == 1 or not fails(plan.prefix(lo - 1))):
+        return candidate
+    for length in range(1, count + 1):
+        prefix = plan.prefix(length)
+        if fails(prefix):
+            return prefix
+    return plan

@@ -7,16 +7,47 @@
 ``mipsc file.pas``        compile mini-Pascal and run it
 ``mips-experiments``      run the paper's tables and figures (``--jobs N``)
 ``mips-farm``             batch simulation service: ``run`` / ``status``
+``mips-chaos``            fault-injection campaigns: ``run`` / ``list``
 ========================  ===================================================
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 #: exit code when a guest program exhausts its --max-steps budget
 EXIT_STEP_BUDGET = 3
+#: exit code for an unrecoverable guest fault or a double-fault panic
+EXIT_PANIC = 4
+
+
+def _report_guest_failure(machine, exc) -> int:
+    """Print a structured PANIC/FAULT record for a dead guest.
+
+    A :class:`~repro.sim.faults.KernelPanic` (double fault) carries both
+    surprise cause fields and the three saved return addresses; a plain
+    machine fault reports its cause pair and the would-be return
+    addresses.  Either way: one structured stderr record and a clean
+    nonzero exit instead of a Python traceback.
+    """
+    from .sim import KernelPanic
+
+    if isinstance(exc, KernelPanic):
+        print(f"PANIC: {exc}", file=sys.stderr)
+        print(json.dumps(exc.record(), sort_keys=True), file=sys.stderr)
+        return EXIT_PANIC
+    record = {
+        "fault": type(exc).__name__,
+        "cause": exc.cause.name,
+        "minor": exc.minor,
+        "pc": machine.cpu.pc,
+        "xra": machine.cpu.upcoming_pcs(3),
+    }
+    print(f"FAULT: {exc} at pc={machine.cpu.pc}", file=sys.stderr)
+    print(json.dumps(record, sort_keys=True), file=sys.stderr)
+    return EXIT_PANIC
 
 
 def asm_main(argv=None) -> int:
@@ -46,7 +77,7 @@ def sim_main(argv=None) -> int:
     )
     parser.add_argument("--input", type=int, action="append", default=[])
     args = parser.parse_args(argv)
-    from .sim import HazardMode, Machine
+    from .sim import HazardMode, KernelPanic, Machine, MachineFault
     from .asm import assemble
 
     with open(args.source) as handle:
@@ -57,6 +88,8 @@ def sim_main(argv=None) -> int:
         )
     try:
         stats = machine.run(args.max_steps)
+    except (MachineFault, KernelPanic) as exc:
+        return _report_guest_failure(machine, exc)
     except TimeoutError:
         print(
             f"error: program did not halt within {args.max_steps} steps "
@@ -116,7 +149,7 @@ def compile_main(argv=None) -> int:
     parser.add_argument("--input", type=int, action="append", default=[])
     args = parser.parse_args(argv)
     from .compiler import CompileOptions, LayoutStrategy, compile_source
-    from .sim import Machine
+    from .sim import KernelPanic, Machine, MachineFault
 
     with open(args.source) as handle:
         compiled = compile_source(
@@ -128,6 +161,8 @@ def compile_main(argv=None) -> int:
     machine = Machine(compiled.program, inputs=args.input)
     try:
         stats = machine.run(args.max_steps)
+    except (MachineFault, KernelPanic) as exc:
+        return _report_guest_failure(machine, exc)
     except TimeoutError:
         print(
             f"error: program did not halt within {args.max_steps} steps "
@@ -304,6 +339,110 @@ def farm_main(argv=None) -> int:
     )
     print(render_summary(summary))
     return 0 if summary["by_status"].get("ok", 0) == summary["jobs"] else 1
+
+
+def chaos_main(argv=None) -> int:
+    """``mips-chaos``: seeded fault-injection campaigns with verification."""
+    parser = argparse.ArgumentParser(
+        description="deterministic fault injection with recovery verification"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run chaos campaigns from a seed")
+    run_p.add_argument("--seed", type=int, required=True, help="plan seed (reproducible)")
+    run_p.add_argument(
+        "--campaign",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="campaign to run (repeatable; default: all shipped campaigns)",
+    )
+    run_p.add_argument(
+        "--engine",
+        choices=["fast", "precise", "both"],
+        default="both",
+        help="execution engine(s); 'both' also checks the differential",
+    )
+    run_p.add_argument(
+        "--results", metavar="FILE", help="stream result records to a JSON-lines file"
+    )
+    run_p.add_argument(
+        "--shrink",
+        action="store_true",
+        help="on violation, minimize the plan to its shortest failing prefix",
+    )
+
+    sub.add_parser("list", help="list the shipped campaigns")
+
+    args = parser.parse_args(argv)
+    from .chaos import CAMPAIGNS, campaign_record, run_campaign
+    from .farm import ResultStore, aggregate
+
+    if args.command == "list":
+        for name in sorted(CAMPAIGNS):
+            print(f"{name:16s} {CAMPAIGNS[name].description}")
+        return 0
+
+    names = args.campaign or sorted(CAMPAIGNS)
+    unknown = [n for n in names if n not in CAMPAIGNS]
+    if unknown:
+        parser.error(
+            f"unknown campaigns: {', '.join(unknown)} (have: {', '.join(sorted(CAMPAIGNS))})"
+        )
+    engines = ("fast", "precise") if args.engine == "both" else (args.engine,)
+
+    store = ResultStore(args.results) if args.results else None
+    failed = 0
+    try:
+        for name in names:
+            summary = run_campaign(name, seed=args.seed, engines=engines)
+            if store is not None:
+                store.append(campaign_record(summary))
+            violations = summary["violations"]
+            outcome = summary["engines"][sorted(summary["engines"])[0]]["outcome"]
+            print(
+                f"{name:16s} seed={args.seed} injections={len(summary['plan']['injections'])} "
+                f"outcome={outcome} violations={len(violations)} digest={summary['digest']}"
+            )
+            for violation in violations:
+                print(
+                    f"  VIOLATION [{violation['engine']}] {violation['check']} "
+                    f"at step {violation['step']}: {violation['detail']}",
+                    file=sys.stderr,
+                )
+            if violations:
+                failed += 1
+                if args.shrink:
+                    _shrink_and_report(name, args.seed, engines)
+    finally:
+        if store is not None:
+            store.close()
+    if store is not None:
+        summary = aggregate(ResultStore.load(args.results))
+        print(f"aggregate digest: {summary['digest']}")
+    return 1 if failed else 0
+
+
+def _shrink_and_report(name: str, seed: int, engines) -> None:
+    """Minimize a failing campaign plan and describe the culprit prefix."""
+    from .chaos import CAMPAIGNS, run_campaign_plan, shortest_failing_prefix
+    from .chaos.campaigns import _baseline
+
+    campaign = CAMPAIGNS[name]
+    baseline = _baseline(campaign)
+    plan = campaign.build_plan(seed, baseline["steps"])
+
+    def fails(candidate) -> bool:
+        result = run_campaign_plan(campaign, candidate, engines=engines, baseline=baseline)
+        return bool(result["violations"])
+
+    shrunk = shortest_failing_prefix(plan, fails)
+    last = shrunk.injections[-1].to_dict() if shrunk.injections else None
+    print(
+        f"  shrunk: {len(plan.injections)} -> {len(shrunk.injections)} injections; "
+        f"last in failing prefix: {last}",
+        file=sys.stderr,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -152,3 +152,24 @@ def workload_jobs(
 def experiment_jobs(names: Sequence[str]) -> Tuple[Job, ...]:
     """One job per registered experiment (table/figure) name."""
     return tuple(Job(kind=KIND_EXPERIMENT, name=name) for name in names)
+
+
+def chaos_jobs(
+    campaigns: Sequence[str],
+    seed: int,
+    engines: Sequence[str] = ("fast", "precise"),
+) -> Tuple[Job, ...]:
+    """One fault-injection campaign job per named campaign.
+
+    The seed is part of the spec (and therefore the job key), so a
+    failing campaign is content-addressed by exactly the plan that
+    failed and replays with ``mips-chaos run --seed N --campaign X``.
+    """
+    return tuple(
+        Job(
+            kind=KIND_CHAOS,
+            name=f"chaos-{name}",
+            spec={"campaign": name, "seed": seed, "engines": list(engines)},
+        )
+        for name in campaigns
+    )

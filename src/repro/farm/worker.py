@@ -103,6 +103,10 @@ def _error_info(exc: BaseException) -> Dict[str, Any]:
     address = getattr(exc, "address", None)
     if address is not None:
         info["address"] = address
+    from ..sim.faults import KernelPanic
+
+    if isinstance(exc, KernelPanic):
+        info["panic"] = exc.record()
     return info
 
 
@@ -251,8 +255,42 @@ def _execute_bench(record: Dict[str, Any], job: Mapping[str, Any]) -> None:
 
 
 def _execute_chaos(record: Dict[str, Any], job: Mapping[str, Any], attempt: int, in_process: bool) -> None:
-    """Fault injection for the test suite: misbehave for the first N attempts."""
+    """Chaos jobs: real injection campaigns, or the legacy failure probe.
+
+    A spec with a ``campaign`` key runs a seeded fault-injection
+    campaign (:mod:`repro.chaos`) and records its summary; the original
+    probe form (``fail_attempts``/``mode``) deliberately misbehaves for
+    the first N attempts to exercise the scheduler's retry machinery.
+    """
     spec = job.get("spec", {})
+    if "campaign" in spec:
+        from ..chaos import run_campaign
+
+        engines = tuple(spec.get("engines", ("fast", "precise")))
+        summary = run_campaign(spec["campaign"], seed=int(spec.get("seed", 0)), engines=engines)
+        first = summary["engines"][sorted(summary["engines"])[0]]
+        record["cycles"] = first["final"]["cycles"]
+        record["words"] = first["final"]["words"]
+        record["fingerprint"] = first["final"]["digest"]
+        record["extra"]["chaos"] = {
+            "campaign": summary["campaign"],
+            "seed": summary["seed"],
+            "injections": len(summary["plan"]["injections"]),
+            "outcome": first["outcome"],
+            "violations": summary["violations"],
+            "digest": summary["digest"],
+        }
+        if summary["violations"]:
+            record["status"] = STATUS_ERROR
+            record["error"] = {
+                "type": "InvariantViolation",
+                "message": (
+                    f"{len(summary['violations'])} recovery-contract violations "
+                    f"(replay: mips-chaos run --seed {summary['seed']} "
+                    f"--campaign {summary['campaign']})"
+                ),
+            }
+        return
     fail_attempts = int(spec.get("fail_attempts", 0))
     mode = spec.get("mode", "crash")
     if attempt <= fail_attempts:
@@ -304,12 +342,32 @@ def execute_job(
     return record
 
 
+def _note_chaos_replay(record: Dict[str, Any], job: Mapping[str, Any], attempt: int) -> None:
+    """Make a dead chaos job replayable: pin the seed and attempt count.
+
+    A worker that dies mid-campaign leaves no result, so the failure
+    record itself must carry everything needed to reproduce the run
+    (``mips-chaos run --seed N --campaign X``) and how many attempts
+    were burned getting there.
+    """
+    record["error"]["attempt"] = attempt
+    spec = job.get("spec", {})
+    if job.get("kind") == "chaos" and "campaign" in spec:
+        record["extra"]["chaos_seed"] = spec.get("seed", 0)
+        record["extra"]["campaign"] = spec["campaign"]
+        record["error"]["message"] += (
+            f" (chaos attempt {attempt}; replay: mips-chaos run "
+            f"--seed {spec.get('seed', 0)} --campaign {spec['campaign']})"
+        )
+
+
 def crash_record(job: Mapping[str, Any], attempt: int, detail: str) -> Dict[str, Any]:
     """The scheduler-side record for a worker that died mid-job."""
     record = _base_record(job, attempt)
     record["status"] = STATUS_CRASH
     record["error"] = {"type": "WorkerCrash", "message": detail}
     record["retryable"] = True
+    _note_chaos_replay(record, job, attempt)
     return record
 
 
@@ -322,6 +380,7 @@ def wall_timeout_record(job: Mapping[str, Any], attempt: int, budget_s: float) -
         "message": f"job exceeded its {budget_s:.1f}s wall-clock budget",
     }
     record["retryable"] = True
+    _note_chaos_replay(record, job, attempt)
     return record
 
 

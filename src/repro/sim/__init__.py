@@ -9,6 +9,7 @@ from .faults import (
     HazardViolation,
     IllegalInstruction,
     InterruptRequest,
+    KernelPanic,
     MachineFault,
     OverflowTrap,
     PageFault,
@@ -38,6 +39,7 @@ __all__ = [
     "HazardViolation",
     "IllegalInstruction",
     "InterruptRequest",
+    "KernelPanic",
     "MachineFault",
     "Machine",
     "MemoryStats",

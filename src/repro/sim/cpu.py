@@ -70,6 +70,7 @@ from .faults import (
     HazardViolation,
     IllegalInstruction,
     InterruptRequest,
+    KernelPanic,
     MachineFault,
     OverflowTrap,
     PageFault,
@@ -152,6 +153,17 @@ class Cpu:
         #: (bare-metal runtime services); False falls through to the
         #: surprise sequence / Python caller.
         self.trap_hook: Optional[Callable[["Cpu", int], bool]] = None
+
+        #: True between a vectored surprise sequence and the matching
+        #: ``rfs`` -- the window in which a second fault is a double
+        #: fault (the saved state would be overwritten, so nothing
+        #: could recover; see :class:`~repro.sim.faults.KernelPanic`).
+        self.in_exception = False
+        #: optional observer ``(cpu, fault, pre_surprise, pre_pc)``
+        #: called after every vectored surprise sequence -- the chaos
+        #: invariant checker hooks it to validate the recovery contract.
+        #: Costs one attribute test per *fault*, nothing per step.
+        self.fault_observer: Optional[Callable[["Cpu", MachineFault, int, int], None]] = None
 
         self.stats = CpuStats()
         self._pending_branches: List[List[int]] = []  # [countdown, target]
@@ -350,6 +362,20 @@ class Cpu:
         self.stats.exceptions += 1
         if not self.vectored_exceptions:
             raise fault
+        if self.in_exception:
+            # a fault inside the exception path: the previous fields and
+            # the saved return addresses would be overwritten, so the
+            # interrupted state is unrecoverable -- double fault
+            raise KernelPanic(
+                self.surprise.major_cause,
+                self.surprise.minor_cause,
+                fault.cause,
+                fault.minor & 0xFFF,
+                self.xra,
+                self.pc,
+            )
+        observer = self.fault_observer
+        pre = (self.surprise.value, self.pc) if observer is not None else None
         # all logically-earlier instructions complete first: land the
         # in-flight load before saving state
         self._apply_deferred()
@@ -360,6 +386,9 @@ class Cpu:
         # "the program counter is zeroed so that execution begins at the
         # start of the first physical page"
         self.pc = 0
+        self.in_exception = True
+        if observer is not None:
+            observer(self, fault, pre[0], pre[1])
 
     def _apply_deferred(self) -> None:
         for number, value in self._deferred_load.items():
@@ -505,6 +534,7 @@ class Cpu:
             # any) lands before the first resumed instruction issues
             self._apply_deferred()
             self.surprise.restore_previous()
+            self.in_exception = False
             self.pc = self.xra[0]
             self._forced_stream = [self.xra[1], self.xra[2]]
             self._pending_branches = []

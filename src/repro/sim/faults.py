@@ -100,6 +100,53 @@ class InterruptRequest(MachineFault):
     cause = ExceptionCause.INTERRUPT
 
 
+class KernelPanic(Exception):
+    """A double fault: an exception raised inside the exception path.
+
+    The surprise sequence has only one set of previous fields and one
+    set of saved return addresses; a second exception before ``rfs``
+    would overwrite both, so there is no state left to recover.  The
+    simulator surfaces the condition as a structured panic carrying
+    both cause pairs -- the exception being handled (still in the
+    surprise register) and the one that hit the handler -- plus the
+    three saved return addresses of the interrupted recovery.
+    """
+
+    def __init__(
+        self,
+        first_cause: "ExceptionCause",
+        first_minor: int,
+        second_cause: "ExceptionCause",
+        second_minor: int,
+        xra,
+        pc: int,
+    ):
+        self.first_cause = first_cause
+        self.first_minor = first_minor
+        self.second_cause = second_cause
+        self.second_minor = second_minor
+        self.xra = list(xra)
+        self.pc = pc
+        super().__init__(
+            f"double fault: {second_cause.name}/{second_minor} raised at pc={pc} "
+            f"while handling {first_cause.name}/{first_minor} "
+            f"(saved return addresses {self.xra})"
+        )
+
+    def record(self) -> dict:
+        """The structured PANIC record (what the CLIs print and the
+        chaos invariant checker validates)."""
+        return {
+            "panic": "double fault",
+            "handling_cause": self.first_cause.name,
+            "handling_minor": self.first_minor,
+            "fault_cause": self.second_cause.name,
+            "fault_minor": self.second_minor,
+            "xra": list(self.xra),
+            "pc": self.pc,
+        }
+
+
 class HazardViolation(Exception):
     """Raised in *checked* mode when code violates a pipeline constraint.
 

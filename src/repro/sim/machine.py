@@ -100,21 +100,37 @@ class Machine:
         Raises :class:`TimeoutError` when the step budget is exhausted
         -- runaway programs are bugs, and tests should see them.
         """
+        self.run_steps(max_steps, fast=fast)
+        if not self.halted:
+            raise TimeoutError(f"program did not halt within {max_steps} steps")
+        return self.cpu.stats
+
+    def run_steps(self, budget: int, fast: bool = True) -> int:
+        """Execute at most ``budget`` instruction words; returns the count.
+
+        Stops early on halt (trap #0), setting :attr:`halted`.  This is
+        the resumable primitive under :meth:`run`; the chaos engine uses
+        it to pause execution at exact step boundaries between
+        injections.  Fast and precise engines count identically, so a
+        given budget lands both at the same architectural state.
+        """
+        done = 0
         if fast:
             engine = self.cpu.fastpath()
-            done = 0
-            while done < max_steps:
+            while done < budget:
                 try:
-                    done += engine.run(max_steps - done)
+                    done += engine.run(budget - done)
                 except Halted:
-                    return self.cpu.stats
-            raise TimeoutError(f"program did not halt within {max_steps} steps")
-        for _ in range(max_steps):
+                    done += engine.last_run_steps
+                    break
+            return done
+        while done < budget:
             try:
                 self.cpu.step()
             except Halted:
-                return self.cpu.stats
-        raise TimeoutError(f"program did not halt within {max_steps} steps")
+                break
+            done += 1
+        return done
 
     @property
     def stats(self) -> CpuStats:

@@ -379,7 +379,14 @@ class Kernel:
         self.kernel_program = build_kernel_program(frame_limit=pool_end)
         self.processes: List[Process] = []
         self.booted = False
+        self.halted = False
         self.steps_run = 0
+        #: cycle count at which the next quantum interrupt fires
+        self._next_timer = 0
+        #: word count below which the timer line stays quiet -- the
+        #: chaos engine's "device stall" injection parks this in the
+        #: future and recovery is the scheduler resuming preemption
+        self._timer_stall_until = 0
 
     def _clear_interrupt_line(self) -> None:
         self.cpu.interrupt_line = False
@@ -423,6 +430,7 @@ class Kernel:
         self.cpu.seg_mask = SEG_MASK_BITS
         self.cpu.surprise.value = 1  # supervisor; everything else off
         self.cpu.pc = self.kernel_program.symbol("schedule")
+        self._next_timer = self.quantum
         self.booted = True
 
     # -- running -----------------------------------------------------------------
@@ -437,29 +445,55 @@ class Kernel:
         interrupt is raised at the same step boundary the per-step loop
         (retained under ``fast=False``) would have used.
         """
+        self.run_steps(max_steps, fast=fast)
+        if not self.halted:
+            raise TimeoutError(f"kernel did not finish within {max_steps} steps")
+
+    def run_steps(self, budget: int, fast: bool = True) -> int:
+        """Execute at most ``budget`` instruction words; returns the count.
+
+        Stops early when the kernel halts the machine (setting
+        :attr:`halted`).  Timer state persists across calls, so chunked
+        execution delivers quantum interrupts at exactly the step
+        boundaries a single :meth:`run` would -- the resumable primitive
+        the chaos engine pauses on between injections.
+        """
         if not self.booted:
             self.boot()
-        next_timer = self.quantum
         engine = self.cpu.fastpath() if fast else None
+        stats = self.cpu.stats
         done = 0
-        while done < max_steps:
-            try:
+        try:
+            while done < budget:
+                if (
+                    self.quantum
+                    and stats.cycles >= self._next_timer
+                    and stats.words >= self._timer_stall_until
+                ):
+                    self.interrupts.raise_source(INT_TIMER)
+                    self.cpu.interrupt_line = True
+                    self._next_timer = stats.cycles + self.quantum
                 if engine is not None:
-                    limit = next_timer if self.quantum else None
-                    done += engine.run(max_steps - done, cycle_limit=limit)
+                    limit = self._next_timer if self.quantum else None
+                    chunk = budget - done
+                    if self.quantum and stats.words < self._timer_stall_until:
+                        # stalled timer: the line is quiet, so run flat
+                        # out -- but only to the stall's expiry, so both
+                        # engines observe the deferred interrupt at the
+                        # identical word boundary
+                        limit = None
+                        chunk = min(chunk, self._timer_stall_until - stats.words)
+                    done += engine.run(chunk, cycle_limit=limit)
                 else:
                     self.cpu.step()
                     done += 1
-            except MachineHalt:
-                self.steps_run += done + (
-                    engine.last_run_steps if engine is not None else 0
-                )
-                return
-            if self.quantum and self.cpu.stats.cycles >= next_timer:
-                self.interrupts.raise_source(INT_TIMER)
-                self.cpu.interrupt_line = True
-                next_timer = self.cpu.stats.cycles + self.quantum
-        raise TimeoutError(f"kernel did not finish within {max_steps} steps")
+        except MachineHalt:
+            if engine is not None:
+                done += engine.last_run_steps
+            self.halted = True
+        finally:
+            self.steps_run += done
+        return done
 
     # -- results -------------------------------------------------------------------
 

@@ -147,3 +147,45 @@ class TestBenchGateMessage:
         message = bench_report.format_gate_failure([("test_kernel_boot_throughput", 1.5)], 0.20)
         assert "also regressed" not in message
         assert "test_kernel_boot_throughput" in message
+
+
+FAULTING_ASM = """
+start:  lim #1048575, r1
+        sll r1, #4, r1
+        ld 0(r1), r2
+        nop
+        trap #0
+"""
+
+
+class TestGuestFailureDiagnostic:
+    """A dead guest exits with a structured record, not a traceback."""
+
+    def test_faulting_program_exits_with_panic_code(self, tmp_path, capsys):
+        from repro.cli import EXIT_PANIC
+
+        path = tmp_path / "fault.s"
+        path.write_text(FAULTING_ASM)
+        code = sim_main([str(path)])
+        assert code == EXIT_PANIC
+        err = capsys.readouterr().err
+        assert "FAULT:" in err
+        record = json.loads(err.strip().splitlines()[-1])
+        assert record["fault"] == "BusError"
+        assert record["cause"] == "BUS_ERROR"
+        assert len(record["xra"]) == 3
+
+    def test_panic_record_shape_matches_chaos_contract(self):
+        # the CLI prints KernelPanic.record() verbatim; the chaos
+        # invariant checker vets the very same shape
+        from repro.chaos import check_panic_record
+        from repro.sim import KernelPanic
+
+        from repro.sim import ExceptionCause
+
+        exc = KernelPanic(ExceptionCause.TRAP, 1, ExceptionCause.OVERFLOW, 0, [1, 2, 3], 7)
+        assert set(exc.record()) >= {
+            "panic", "handling_cause", "handling_minor",
+            "fault_cause", "fault_minor", "xra", "pc",
+        }
+        assert check_panic_record(exc.record()) == []

@@ -99,3 +99,82 @@ fail:   mov #0, r1
         kernel.add_process(assemble(yielding_process(90, 2)))
         kernel.run()
         assert kernel.output(0) == [1]
+
+
+def paging_process(salt: int, pages: int) -> str:
+    """Touches ``pages`` distinct pages (write then read-back) and
+    prints the checksum -- steady page-fault traffic."""
+    return f"""
+start:  lim #4096, r10
+        lim #256, r11
+        movi #{salt}, r12
+        mov #0, r8
+        movi #{pages}, r9
+wloop:  add r8, r12, r7
+        st r7, 0(r10)
+        add r10, r11, r10
+        add r8, #1, r8
+        blo r8, r9, wloop
+        nop
+        lim #4096, r10
+        mov #0, r8
+        mov #0, r7
+rloop:  ld 0(r10), r6
+        nop
+        add r7, r6, r7
+        add r10, r11, r10
+        add r8, #1, r8
+        blo r8, r9, rloop
+        nop
+        add r7, #0, r1
+        trap #1
+        trap #0
+"""
+
+
+class TestNestedExceptionPressure:
+    """Timer interrupts queued behind traps and page faults: the
+    kernel's software save/restore of the surprise register (and the
+    three saved return addresses) must round-trip under every mix of
+    voluntary switches, preemption, and demand paging."""
+
+    def test_preemption_composes_with_voluntary_yield(self):
+        # quantum short enough that timer interrupts land between the
+        # yields; per-process output must be exactly the cooperative
+        # sequence even though the interleaving is no longer strict
+        kernel = Kernel(quantum=400)
+        kernel.add_process(assemble(yielding_process(100, 12)))
+        kernel.add_process(assemble(yielding_process(200, 12)))
+        kernel.run()
+        assert kernel.output(0) == [100 + i for i in range(12)]
+        assert kernel.output(1) == [200 + i for i in range(12)]
+
+    def test_preemption_during_demand_paging(self):
+        # a tight frame pool keeps the pager evicting while the timer
+        # preempts: interrupts are pended during handlers (interrupts
+        # are forced off on exception entry), delivered after rfs, and
+        # both checksums must still be exact
+        kernel = Kernel(quantum=300, max_frames=8)
+        kernel.add_process(assemble(paging_process(5, 12)))
+        kernel.add_process(assemble(paging_process(9, 12)))
+        kernel.run()
+        assert kernel.output(0) == [sum(5 + i for i in range(12))]
+        assert kernel.output(1) == [sum(9 + i for i in range(12))]
+
+    def test_saved_surprise_state_survives_nesting_on_both_engines(self):
+        # the same pressured run must be bit-identical on the threaded
+        # fast path and the precise stepper -- the save areas are
+        # ordinary mapped memory, so any divergence shows up here
+        finals = {}
+        for fast in (True, False):
+            kernel = Kernel(quantum=300, max_frames=8)
+            kernel.add_process(assemble(paging_process(5, 10)))
+            kernel.add_process(assemble(yielding_process(90, 8)))
+            kernel.run(fast=fast)
+            finals[fast] = (
+                kernel.output(0),
+                kernel.output(1),
+                kernel.cpu.stats.words,
+                kernel.cpu.stats.exceptions,
+            )
+        assert finals[True] == finals[False]

@@ -92,6 +92,36 @@ class TestSurpriseRegister:
         assert sr.minor_cause == 0xFFF
         assert sr.supervisor
 
+    def test_nested_exception_clobbers_previous_fields(self):
+        """Hardware keeps exactly one level of previous-state: a second
+        ``enter_exception`` overwrites the user state saved by the
+        first.  This is the paper's case for software save/restore."""
+        sr = SurpriseRegister()
+        sr.supervisor = False
+        sr.interrupts_enabled = True
+        sr.enter_exception(ExceptionCause.PAGE_FAULT, 7)
+        assert not sr.previous_supervisor  # user state held, one level deep
+        sr.enter_exception(ExceptionCause.INTERRUPT)
+        assert sr.previous_supervisor  # now holds handler state; user state gone
+
+    def test_software_save_restores_across_nesting(self):
+        """The kernel's dispatch prologue stores the raw register value
+        and its epilogue writes it back; that round-trip must survive a
+        nested fault between save and restore."""
+        sr = SurpriseRegister()
+        sr.supervisor = False
+        sr.interrupts_enabled = True
+        sr.mapping_enabled = True
+        sr.overflow_traps_enabled = True
+        sr.enter_exception(ExceptionCause.TRAP, 1)
+        saved = sr.value  # st surprise, @SAVE_SR
+        sr.enter_exception(ExceptionCause.INTERRUPT)  # nested fault in the handler
+        sr.restore_previous()  # inner handler returns
+        sr.value = saved  # wrspec @SAVE_SR, surprise
+        sr.restore_previous()  # outer rfs back to the user
+        assert not sr.supervisor
+        assert sr.interrupts_enabled and sr.mapping_enabled and sr.overflow_traps_enabled
+
 
 class TestMachineHarness:
     def test_io_traps(self):
