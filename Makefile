@@ -1,0 +1,27 @@
+# The local loop, matched to CI job-for-job (see .github/workflows/ci.yml).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test perf-gate claims bench
+
+## check: everything a push must survive -- lint + tier-1 tests + perf gate
+check: lint test perf-gate
+
+lint:
+	ruff check .
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+## perf-gate: the blocking deterministic cycle-count gate + paper claims
+perf-gate:
+	$(PYTHON) tools/bench_report.py cycles
+	$(PYTHON) -m repro.perf claims
+
+claims:
+	$(PYTHON) -m repro.perf claims
+
+## bench: the noisy wall-clock backstop (nightly in CI)
+bench:
+	$(PYTHON) tools/bench_report.py compare

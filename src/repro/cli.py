@@ -423,6 +423,140 @@ def chaos_main(argv=None) -> int:
     return 1 if failed else 0
 
 
+def prof_main(argv=None) -> int:
+    """``mips-prof``: deterministic guest profiling and the paper-claims check.
+
+    Every byte this command prints derives from architectural state, so
+    output is identical across engines, across ``--jobs N``, and across
+    repeated runs -- diff two invocations to prove a change is
+    cycle-neutral.
+    """
+    parser = argparse.ArgumentParser(
+        description="per-PC guest profiler with hardware-style counters"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="profile one program")
+    run_p.add_argument(
+        "target", help="assembly source file, or a corpus workload name"
+    )
+    run_p.add_argument("--top", type=int, default=20, metavar="N", help="hot words to show")
+    run_p.add_argument(
+        "--format",
+        choices=["text", "json", "collapsed"],
+        default="text",
+        help="text report, canonical JSON, or flamegraph-collapsed stacks",
+    )
+    run_p.add_argument(
+        "--engine",
+        choices=["fast", "precise"],
+        default="fast",
+        help="execution engine (output is identical either way; see tests)",
+    )
+    run_p.add_argument("--mode", choices=["bare", "checked", "interlocked"], default="bare")
+    run_p.add_argument("--max-steps", type=int, default=30_000_000)
+    run_p.add_argument("--input", type=int, action="append", default=[])
+
+    corpus_p = sub.add_parser(
+        "corpus", help="profile the quick corpus through the farm (JSONL out)"
+    )
+    corpus_p.add_argument("--jobs", type=int, default=1, metavar="N", help="worker processes")
+    corpus_p.add_argument("--top", type=int, default=20, metavar="N")
+    corpus_p.add_argument(
+        "--results", metavar="FILE", help="also stream full farm records to a JSONL file"
+    )
+
+    claims_p = sub.add_parser(
+        "claims", help="validate live counters against the paper's bands"
+    )
+    claims_p.add_argument("--jobs", type=int, default=1, metavar="N")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        return _prof_run(args)
+
+    from .farm import ResultStore, Scheduler
+    from .farm.job import profile_jobs
+    from .perf import merge_groups, render_json, validate
+    from .perf.claims import render as render_claims
+    from .workloads import QUICK_PROGRAMS
+
+    store = ResultStore(getattr(args, "results", None)) if args.command == "corpus" else None
+    try:
+        records = Scheduler(jobs=args.jobs, store=store).run(
+            profile_jobs(list(QUICK_PROGRAMS), top=getattr(args, "top", None))
+        )
+    finally:
+        if store is not None:
+            store.close()
+    failed = [r["name"] for r in records if r["status"] != "ok"]
+    if failed:
+        print(f"error: workloads failed: {', '.join(sorted(failed))}", file=sys.stderr)
+        return 1
+    profiles = sorted(
+        (record["extra"]["profile"] for record in records), key=lambda p: p["name"]
+    )
+
+    if args.command == "corpus":
+        for profile in profiles:
+            print(render_json(profile))
+        return 0
+
+    merged = merge_groups([profile["counters"] for profile in profiles])
+    results = validate(merged)
+    print(render_claims(results), end="")
+    return 0 if all(result.ok for result in results) else 1
+
+
+def _prof_run(args) -> int:
+    import os
+
+    from .perf import Profiler, build_profile, render_collapsed, render_json, render_text
+    from .sim import HazardMode, KernelPanic, Machine, MachineFault
+
+    if os.path.exists(args.target):
+        from .asm import assemble
+
+        with open(args.target) as handle:
+            program = assemble(handle.read())
+        name = os.path.basename(args.target)
+    else:
+        from .compiler.codegen_mips import CompileOptions
+        from .compiler.driver import compile_source
+        from .workloads import CORPUS
+
+        if args.target not in CORPUS:
+            print(
+                f"error: {args.target!r} is neither a file nor a corpus workload",
+                file=sys.stderr,
+            )
+            return 2
+        program = compile_source(CORPUS[args.target], CompileOptions()).program
+        name = args.target
+
+    machine = Machine(program, hazard_mode=HazardMode(args.mode), inputs=args.input)
+    Profiler().attach(machine.cpu)
+    try:
+        machine.run(args.max_steps, fast=(args.engine == "fast"))
+    except (MachineFault, KernelPanic) as exc:
+        return _report_guest_failure(machine, exc)
+    except TimeoutError:
+        print(
+            f"error: program did not halt within {args.max_steps} steps",
+            file=sys.stderr,
+        )
+        return EXIT_STEP_BUDGET
+    profile = build_profile(machine.cpu, program, top=args.top, name=name)
+    if args.format == "json":
+        print(render_json(profile))
+    elif args.format == "collapsed":
+        print(render_collapsed(profile), end="")
+    else:
+        print(render_text(profile), end="")
+    return 0
+
+
 def _shrink_and_report(name: str, seed: int, engines) -> None:
     """Minimize a failing campaign plan and describe the culprit prefix."""
     from .chaos import CAMPAIGNS, run_campaign_plan, shortest_failing_prefix

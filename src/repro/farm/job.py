@@ -149,6 +149,35 @@ def workload_jobs(
     )
 
 
+def profile_jobs(
+    names: Sequence[str],
+    top: Optional[int] = None,
+    hazard_mode: str = "bare",
+    opt_level: str = "branch-delay",
+    max_steps: int = 30_000_000,
+) -> Tuple[Job, ...]:
+    """Workload jobs with per-PC profiling enabled.
+
+    The profile flag lives in the spec, so profile jobs are
+    content-addressed separately from plain simulations of the same
+    workload and the exported profiles shard/cache like any result.
+    """
+    return tuple(
+        Job(
+            kind=KIND_WORKLOAD,
+            name=name,
+            spec={
+                "register_allocation": True,
+                "profile": top if top is not None else True,
+            },
+            hazard_mode=hazard_mode,
+            opt_level=opt_level,
+            max_steps=max_steps,
+        )
+        for name in names
+    )
+
+
 def experiment_jobs(names: Sequence[str]) -> Tuple[Job, ...]:
     """One job per registered experiment (table/figure) name."""
     return tuple(Job(kind=KIND_EXPERIMENT, name=name) for name in names)

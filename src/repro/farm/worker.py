@@ -159,23 +159,54 @@ def _compile_workload(job: Mapping[str, Any]):
     return compile_source(source, options, opt_level=OptLevel(job.get("opt_level", "branch-delay")))
 
 
+def _attach_profiler(job: Mapping[str, Any], machine):
+    """Attach a profiler when the job's spec asks for one.
+
+    ``spec["profile"]`` is truthy to enable; an integer limits the
+    hot-spot list to that many entries (default: full attribution).
+    """
+    if not job.get("spec", {}).get("profile"):
+        return None
+    from ..perf.profiler import Profiler
+
+    return Profiler().attach(machine.cpu)
+
+
+def _export_profile(record: Dict[str, Any], job: Mapping[str, Any], machine, program) -> None:
+    """Store the deterministic profile in the record, if one was asked for."""
+    if machine.cpu.profiler is None:
+        return
+    from ..perf.report import build_profile
+
+    requested = job.get("spec", {}).get("profile")
+    top = requested if isinstance(requested, int) and not isinstance(requested, bool) else None
+    record["extra"]["profile"] = build_profile(
+        machine.cpu, program, top=top, name=job["name"]
+    )
+
+
 def _execute_simulation(record: Dict[str, Any], job: Mapping[str, Any]) -> None:
     compiled = _compile_workload(job)
     machine = _build_machine(job, compiled.program)
     record["extra"]["static_words"] = compiled.static_count
+    _attach_profiler(job, machine)
     _run_machine(record, machine, job.get("max_steps", 30_000_000))
+    _export_profile(record, job, machine, compiled.program)
 
 
 def _execute_asm(record: Dict[str, Any], job: Mapping[str, Any]) -> None:
     from ..asm.assembler import assemble
 
     spec = job.get("spec", {})
-    machine = _build_machine(job, assemble(spec["source"]))
+    program = assemble(spec["source"])
+    machine = _build_machine(job, program)
     if spec.get("mapped"):
         # drive the on-chip segmentation unit: references between the
         # two valid regions now raise PageFault (the page-map fault path)
         machine.cpu.surprise.mapping_enabled = True
+    _attach_profiler(job, machine)
     _run_machine(record, machine, job.get("max_steps", 30_000_000))
+    _export_profile(record, job, machine, program)
 
 
 def _execute_experiment(record: Dict[str, Any], job: Mapping[str, Any]) -> None:

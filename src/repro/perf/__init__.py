@@ -1,0 +1,50 @@
+"""Observability: perf counters, per-PC profiling, paper-claim checks.
+
+The layer has four parts, split dynamic/static for near-zero run cost:
+
+* :mod:`~repro.perf.profiler` -- per-PC execution counts, stall/flush
+  attribution, and a bounded architectural event ring; identical under
+  both execution engines.
+* :mod:`~repro.perf.counters` -- hardware-style counter groups derived
+  at sample time from the counts and static word properties.
+* :mod:`~repro.perf.report` -- deterministic hot-spot profiles (text,
+  JSON, flamegraph-collapsed).
+* :mod:`~repro.perf.claims` / :mod:`~repro.perf.baseline` -- the live
+  paper-bands validator and the blocking cycle-count CI gate.
+"""
+
+from .baseline import (
+    DEFAULT_THRESHOLD,
+    GATED_COUNTERS,
+    collect_cycles,
+    compare,
+    load_baseline,
+    render_gate,
+    write_baseline,
+)
+from .claims import all_ok, validate
+from .counters import VOLATILE_GROUPS, classify_word, collect, merge_groups, stable_groups
+from .profiler import Profiler
+from .report import build_profile, render_collapsed, render_json, render_text
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "GATED_COUNTERS",
+    "Profiler",
+    "VOLATILE_GROUPS",
+    "all_ok",
+    "build_profile",
+    "classify_word",
+    "collect",
+    "collect_cycles",
+    "compare",
+    "load_baseline",
+    "merge_groups",
+    "render_collapsed",
+    "render_gate",
+    "render_json",
+    "render_text",
+    "stable_groups",
+    "validate",
+    "write_baseline",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.perf`` == ``mips-prof`` (handy in CI images)."""
+
+import sys
+
+from ..cli import prof_main
+
+if __name__ == "__main__":
+    sys.exit(prof_main())

@@ -1,0 +1,115 @@
+"""Live validation of the paper's measured claims.
+
+The paper's argument is empirical; these checks re-ask its questions of
+the *live* counters on every CI run, so a simulator or compiler change
+that drifts the reproduction off the paper's numbers fails loudly
+instead of rotting silently.
+
+Band semantics -- each claim is a **floor or ceiling, not a containment
+interval**, because our dynamic measurements legitimately exceed the
+paper's static ones (documented deviation, see EXPERIMENTS.md):
+
+* *Table 1 constants*: the paper's 68.7% imm4 / 95.5% movi coverage is
+  a static count over emitted code; executed streams concentrate in hot
+  loops full of tiny constants, so dynamic coverage lands higher
+  (~98%/~99.5% on the shipped corpus).  The paper numbers act as
+  floors -- falling below them would mean the literal encodings stopped
+  paying off even under the favourable dynamic weighting.
+* *Free memory cycles* (section 3.1, "came close to 40%"): the paper's
+  35-45% band is a floor.  Register allocation keeps operands out of
+  memory, so the reproduction idles 57-96% of data-memory slots
+  per program (~90% aggregate); dropping below the paper's own band
+  would signal an accounting or codegen regression.
+* *Table 3 condition codes*: savings from setting codes on operators is
+  a ceiling (<= 2%) -- the paper's argument is that CC hardware buys
+  almost nothing, and that must stay true dynamically (1.53% measured
+  aggregate, 2.1% static with moves included).
+
+Aggregation is corpus-wide (summed counters, then the ratio), matching
+how the paper reports each table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+# floors/ceilings on the corpus-aggregate dynamic counters
+IMM4_COVERAGE_FLOOR = 68.7     # Table 1: 4-bit literal static coverage
+MOVI_COVERAGE_FLOOR = 95.5     # Table 1: +8-bit move-immediate coverage
+FREE_CYCLE_FLOOR = 35.0        # section 3.1: low edge of the ~40% band
+CC_SAVINGS_CEILING = 2.0       # Table 3: CCs on operators save ~1-2%
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    name: str
+    description: str
+    measured: float
+    bound: float
+    kind: str            # "floor" | "ceiling"
+    ok: bool
+
+    def render(self) -> str:
+        op = ">=" if self.kind == "floor" else "<="
+        status = "ok" if self.ok else "FAIL"
+        return (
+            f"[{status}] {self.name}: measured {self.measured:.2f}% "
+            f"(claim: {op} {self.bound:.2f}%) -- {self.description}"
+        )
+
+
+def _floor(name: str, description: str, measured: float, bound: float) -> ClaimResult:
+    return ClaimResult(name, description, measured, bound, "floor", measured >= bound)
+
+
+def _ceiling(name: str, description: str, measured: float, bound: float) -> ClaimResult:
+    return ClaimResult(name, description, measured, bound, "ceiling", measured <= bound)
+
+
+def validate(merged_groups: Dict[str, Dict[str, object]]) -> List[ClaimResult]:
+    """Check corpus-aggregate counter groups against the paper's bands."""
+    immediates = merged_groups.get("immediates", {})
+    control = merged_groups.get("control", {})
+    memory = merged_groups.get("memory", {})
+    return [
+        _floor(
+            "table1-imm4",
+            "Table 1: constants reachable by the 4-bit literal",
+            float(immediates.get("imm4_coverage_pct", 0.0)),
+            IMM4_COVERAGE_FLOOR,
+        ),
+        _floor(
+            "table1-movi",
+            "Table 1: constants reachable with the 8-bit move immediate",
+            float(immediates.get("movi_coverage_pct", 0.0)),
+            MOVI_COVERAGE_FLOOR,
+        ),
+        _floor(
+            "free-cycles",
+            "section 3.1: data-memory bandwidth left free for DMA",
+            float(memory.get("free_cycle_pct", 0.0)),
+            FREE_CYCLE_FLOOR,
+        ),
+        _ceiling(
+            "table3-cc",
+            "Table 3: compares a condition code on operators would save",
+            float(control.get("cc_savings_operators_pct", 100.0)),
+            CC_SAVINGS_CEILING,
+        ),
+    ]
+
+
+def render(results: Sequence[ClaimResult]) -> str:
+    lines = [result.render() for result in results]
+    failed = [result for result in results if not result.ok]
+    lines.append(
+        "all paper claims hold"
+        if not failed
+        else f"{len(failed)} claim(s) out of band: " + ", ".join(r.name for r in failed)
+    )
+    return "\n".join(lines) + "\n"
+
+
+def all_ok(results: Sequence[ClaimResult]) -> bool:
+    return all(result.ok for result in results)

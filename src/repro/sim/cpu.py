@@ -166,6 +166,12 @@ class Cpu:
         self.fault_observer: Optional[Callable[["Cpu", MachineFault, int, int], None]] = None
 
         self.stats = CpuStats()
+        #: optional :class:`repro.perf.profiler.Profiler`.  When set,
+        #: every completed word increments its per-PC count (the fast
+        #: path merges burst counts into the same dicts) and faults,
+        #: traps, and ``rfs`` land in its event ring.  Costs one ``is
+        #: None`` test per reference step when detached.
+        self.profiler = None
         self._pending_branches: List[List[int]] = []  # [countdown, target]
         self._forced_stream: List[int] = []  # pcs forced by rfs
         self._deferred_load: Dict[int, int] = {}  # reg number -> value in flight
@@ -310,6 +316,8 @@ class Cpu:
                 # hardware clears the pipe: slots squashed, delay charged
                 self.stats.branch_flush_cycles += delay
                 self.stats.cycles += delay
+                if self.profiler is not None and delay:
+                    self.profiler.charge_flush(pc, delay)
                 self._pending_branches = []
                 next_pc = target
             elif delay == 0:
@@ -360,6 +368,10 @@ class Cpu:
     def _take_fault(self, fault: MachineFault) -> None:
         """Run the surprise sequence, or surface the fault to Python."""
         self.stats.exceptions += 1
+        if self.profiler is not None:
+            self.profiler.record_event(
+                "fault", self.stats.words, self.pc, fault.cause.name, fault.minor
+            )
         if not self.vectored_exceptions:
             raise fault
         if self.in_exception:
@@ -411,6 +423,8 @@ class Cpu:
                     # one stall cycle, then forward the loaded value
                     self.stats.load_stalls += 1
                     self.stats.cycles += 1
+                    if self.profiler is not None:
+                        self.profiler.charge_stall(pc)
                     self._apply_deferred()
 
         mem_piece = word.mem
@@ -523,6 +537,10 @@ class Cpu:
         # ---- timing ----------------------------------------------------------
         self.stats.words += 1
         self.stats.cycles += 1
+        profiler = self.profiler
+        if profiler is not None:
+            counts = profiler.counts
+            counts[pc] = counts.get(pc, 0) + 1
         if word.uses_memory:
             self.stats.memory_cycles_used += 1
         else:
@@ -530,6 +548,8 @@ class Cpu:
 
         # ---- control flow -----------------------------------------------------
         if is_rfs:
+            if profiler is not None:
+                profiler.record_event("rfs", self.stats.words, pc)
             # the return sequence drains the pipe: the in-flight load (if
             # any) lands before the first resumed instruction issues
             self._apply_deferred()
@@ -543,6 +563,8 @@ class Cpu:
         self._advance_pc(pc, branch)
 
         if trap_code is not None:
+            if profiler is not None:
+                profiler.record_event("trap", self.stats.words, pc, trap_code)
             handled = self.trap_hook(self, trap_code) if self.trap_hook else False
             if not handled:
                 # the trap word itself completed: the saved return stream

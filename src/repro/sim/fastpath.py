@@ -39,6 +39,7 @@ execution falls back to the reference stepper word by word.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..isa.bits import u32
@@ -101,6 +102,19 @@ _COND_TEMPLATES = {
 }
 
 
+@dataclass
+class EngineStats:
+    """Fast-path diagnostics (engine-specific -- the reference stepper
+    has no analogue, so these never enter fingerprints or profiles that
+    must match across engines)."""
+
+    compiles: int = 0        # words compiled into handlers
+    fallbacks: int = 0       # words screened out at compile time
+    bails: int = 0           # handlers that punted pre-mutation at run time
+    invalidations: int = 0   # compiled words dropped (SMC, DMA, loader pokes)
+    bursts: int = 0          # batched inner-loop entries
+
+
 class _Context:
     """Handler and stats-delta caches for one execution context.
 
@@ -140,6 +154,7 @@ class FastPathEngine:
         #: exception escaped -- callers use this to account for steps
         #: when a reference step raises (halt, hazard violation, ...)
         self.last_run_steps = 0
+        self.stats = EngineStats()
         self._st = [-1, 0, -1, -1, 0]
         if self._supported and hasattr(physical, "watch_hook"):
             physical.watch_hook = self._on_external_write
@@ -230,6 +245,7 @@ class FastPathEngine:
         cpu = self.cpu
         regs = cpu.regs
         st = self._st
+        self.stats.bursts += 1
 
         # ---- sync pipeline state into the burst-local form ------------
         deferred = cpu._deferred_load
@@ -273,6 +289,7 @@ class FastPathEngine:
                 try:
                     npc = h(regs, st)
                 except _Bail:
+                    self.stats.bails += 1
                     break
                 counts[pc] = get_count(pc, 0) + 1
                 pc = npc
@@ -310,6 +327,12 @@ class FastPathEngine:
                 mstats.fetches += words
                 mstats.reads += loads
                 mstats.writes += stores
+                profiler = cpu.profiler
+                if profiler is not None:
+                    pcounts = profiler.counts
+                    pget = pcounts.get
+                    for wpc, c in counts.items():
+                        pcounts[wpc] = pget(wpc, 0) + c
             elif st[4]:  # pragma: no cover - taken implies counts
                 stats.branches_taken += st[4]
 
@@ -335,6 +358,7 @@ class FastPathEngine:
         before the invalidation belong to the old word and must flush
         against its old delta; a recompile overwrites the entry.
         """
+        self.stats.invalidations += 1
         for ctx in self._contexts.values():
             ctx.handlers.pop(addr, None)
         self._compiled_pcs.discard(addr)
@@ -352,6 +376,9 @@ class FastPathEngine:
         handler = self._try_compile(ctx, pc)
         if handler is None:
             handler = _FALLBACK
+            self.stats.fallbacks += 1
+        else:
+            self.stats.compiles += 1
         ctx.handlers[pc] = handler
         self._compiled_pcs.add(pc)
         return handler

@@ -136,6 +136,16 @@ class Machine:
     def stats(self) -> CpuStats:
         return self.cpu.stats
 
+    def counter_groups(self):
+        """The observability counter groups for this machine's run.
+
+        Per-PC-derived groups (mix, immediates, control) need a
+        :class:`~repro.perf.profiler.Profiler` attached before running.
+        """
+        from ..perf.counters import collect
+
+        return collect(self.cpu)
+
     @property
     def output_text(self) -> str:
         """Characters written via trap #2, as a string."""

@@ -27,11 +27,16 @@ class TraceRecord:
     writes: Dict[int, int]
     #: True when the word carried a taken control transfer
     branched: bool
+    #: True when the fetch at ``pc`` faulted: ``word`` is a placeholder
+    #: NOP and the step vectored to the fault handler instead of
+    #: executing anything at ``pc``
+    fetch_faulted: bool = False
 
     def __repr__(self) -> str:
         changes = " ".join(f"r{n}={v:#x}" for n, v in sorted(self.writes.items()))
         marker = " ->" if self.branched else ""
-        return f"{self.step:6d}  {self.pc:6d}  {self.word!r}{marker}  {changes}"
+        shown = "<fetch fault>" if self.fetch_faulted else repr(self.word)
+        return f"{self.step:6d}  {self.pc:6d}  {shown}{marker}  {changes}"
 
 
 def trace(cpu: Cpu, max_steps: int = 1000) -> Iterator[TraceRecord]:
@@ -47,7 +52,10 @@ def trace(cpu: Cpu, max_steps: int = 1000) -> Iterator[TraceRecord]:
         try:
             word = cpu.fetch(pc)
         except Exception:
-            word = None  # the step below will surface the fault
+            # the step below takes the same fault through the normal
+            # vector; the record is explicitly marked so a placeholder
+            # NOP is never mistaken for an executed word
+            word = None
         try:
             cpu.step()
         except Halted:
@@ -63,6 +71,7 @@ def trace(cpu: Cpu, max_steps: int = 1000) -> Iterator[TraceRecord]:
             word if word is not None else InstructionWord.nop(),
             writes,
             cpu.stats.branches_taken > taken_before,
+            fetch_faulted=word is None,
         )
 
 

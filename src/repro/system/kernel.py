@@ -497,6 +497,17 @@ class Kernel:
 
     # -- results -------------------------------------------------------------------
 
+    def counter_groups(self):
+        """Observability counter groups, including page-map traffic.
+
+        The ``system`` group picks up this kernel's live page-map
+        statistics; attach a profiler before :meth:`boot` to populate
+        the per-PC-derived groups as well.
+        """
+        from ..perf.counters import collect
+
+        return collect(self.cpu, pagemap=self.pagemap)
+
     def output(self, pid: int) -> List[int]:
         return self.console.outputs.get(pid, [])
 

@@ -1,0 +1,110 @@
+"""Profiles and reports: determinism, events, labels, renderings."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.compiler import compile_source
+from repro.perf import (
+    Profiler,
+    build_profile,
+    render_collapsed,
+    render_json,
+    render_text,
+)
+from repro.perf.report import label_for
+from repro.sim import Machine
+from repro.workloads import CORPUS
+
+ENGINES = (True, False)
+ENGINE_IDS = ("fast", "precise")
+
+
+def _profile_workload(name, fast, top=20):
+    compiled = compile_source(CORPUS[name])
+    machine = Machine(compiled.program)
+    Profiler().attach(machine.cpu)
+    machine.run(30_000_000, fast=fast)
+    return build_profile(machine.cpu, compiled.program, top=top, name=name)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("name", ["sort", "calc", "fib_recursive"])
+    def test_identical_across_engines(self, name):
+        rendered = [
+            (
+                render_json(p),
+                render_text(p),
+                render_collapsed(p),
+            )
+            for p in (_profile_workload(name, fast) for fast in ENGINES)
+        ]
+        assert rendered[0] == rendered[1]
+
+    def test_identical_across_repeated_runs(self):
+        assert render_json(_profile_workload("sort", True)) == render_json(
+            _profile_workload("sort", True)
+        )
+
+
+class TestProfileContents:
+    def test_top_limits_hot_list_only(self):
+        full = _profile_workload("sort", True, top=None)
+        limited = _profile_workload("sort", True, top=5)
+        assert len(limited["hot"]) == 5
+        assert limited["hot"] == full["hot"][:5]
+        assert limited["total_cycles"] == full["total_cycles"]
+
+    def test_hot_list_ordering_is_total(self):
+        profile = _profile_workload("sort", True, top=None)
+        keys = [(-entry["cycles"], entry["pc"]) for entry in profile["hot"]]
+        assert keys == sorted(keys)
+
+    def test_trap_events_recorded_engine_neutrally(self):
+        profiles = [_profile_workload("sort", fast) for fast in ENGINES]
+        assert profiles[0]["events"] == profiles[1]["events"]
+        assert any(e["kind"] == "trap" for e in profiles[0]["events"])
+        # the final halt is the last event, timestamped in words
+        last = profiles[0]["events"][-1]
+        assert last["kind"] == "trap" and last["code"] == 0
+
+    def test_counters_exclude_engine_group(self):
+        profile = _profile_workload("sort", True)
+        assert "engine" not in profile["counters"]
+
+    def test_requires_attached_profiler(self):
+        machine = Machine(assemble("start: trap #0"))
+        machine.run(10)
+        with pytest.raises(ValueError):
+            build_profile(machine.cpu, None)
+
+
+class TestEventRing:
+    def test_ring_evicts_oldest_and_counts_drops(self):
+        profiler = Profiler(capacity=4)
+        for i in range(10):
+            profiler.record_event("trap", i, i, 1)
+        events = profiler.events
+        assert len(events) == 4
+        assert [e["seq"] for e in events] == [6, 7, 8, 9]
+        assert profiler.events_dropped == 6
+
+
+class TestLabels:
+    TABLE = [(0, "start"), (10, "inner"), (40, "done")]
+
+    def test_exact_symbol(self):
+        assert label_for(10, self.TABLE) == "inner"
+
+    def test_offset_from_nearest_preceding(self):
+        assert label_for(13, self.TABLE) == "inner+3"
+        assert label_for(9, self.TABLE) == "start+9"
+
+    def test_before_first_symbol_falls_back_to_hex(self):
+        assert label_for(5, [(10, "inner")]) == "0x5"
+
+    def test_collapsed_lines_carry_labels_and_cycles(self):
+        profile = _profile_workload("sort", True, top=3)
+        lines = render_collapsed(profile).splitlines()
+        assert len(lines) == 3
+        for line, entry in zip(lines, profile["hot"]):
+            assert line == f"{entry['label']};0x{entry['pc']:x} {entry['cycles']}"

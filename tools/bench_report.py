@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Benchmark snapshot and regression gate.
+"""Benchmark snapshot and regression gates.
 
-Two subcommands:
+Four subcommands:
 
 ``run``
     Executes the housekeeping throughput benchmarks
@@ -18,6 +18,19 @@ Two subcommands:
     regressed by more than the threshold (default 20%); the failure
     message names the worst-regressing benchmark.
 
+``cycles``
+    The deterministic gate.  Simulates the quick corpus under counters
+    and compares the per-workload cycle/stall/memory counters against
+    the committed ``PERF_BASELINE.json``; any counter growing more than
+    2% fails, naming the worst-offending workload and counter.  Cycle
+    counts are exact, so this gate is **blocking** in CI while the
+    wall-clock ``compare`` gate above is a nightly backstop.
+
+``update-baseline``
+    Rewrites ``PERF_BASELINE.json`` from a fresh collection.  Run after
+    an intended cycle-count change and commit the diff -- the diff *is*
+    the reviewable record of the regression/improvement.
+
 Benchmark execution goes through :mod:`repro.farm`: each benchmark is
 one job with a wall-clock budget and transient-failure retries, and
 ``--jobs N`` shards them over worker processes (keep the default of 1
@@ -29,6 +42,8 @@ Usage::
     PYTHONPATH=src python tools/bench_report.py run
     PYTHONPATH=src python tools/bench_report.py compare
     PYTHONPATH=src python tools/bench_report.py compare --against BENCH_2026-08-06.json
+    PYTHONPATH=src python tools/bench_report.py cycles
+    PYTHONPATH=src python tools/bench_report.py update-baseline
 """
 
 from __future__ import annotations
@@ -194,6 +209,39 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+PERF_BASELINE = os.path.join(REPO_ROOT, "PERF_BASELINE.json")
+
+
+def cmd_cycles(args: argparse.Namespace) -> int:
+    from repro.perf import baseline as perf_baseline
+
+    current = perf_baseline.collect_cycles(jobs=args.jobs)
+    for name, counters in current.items():
+        print(f"  {name}: {counters['cycles']} cycles, {counters['load_stalls']} stalls")
+    gate_path = args.gate or PERF_BASELINE
+    if not os.path.exists(gate_path):
+        print(f"no baseline at {os.path.relpath(gate_path, REPO_ROOT)}; skipping gate")
+        return 0
+    baseline = perf_baseline.load_baseline(gate_path)
+    threshold = args.threshold if args.threshold is not None else baseline.get(
+        "threshold", perf_baseline.DEFAULT_THRESHOLD
+    )
+    regressions = perf_baseline.compare(baseline, current, threshold)
+    print(perf_baseline.render_gate(regressions, threshold), end="")
+    return 1 if regressions else 0
+
+
+def cmd_update_baseline(args: argparse.Namespace) -> int:
+    from repro.perf import baseline as perf_baseline
+
+    current = perf_baseline.collect_cycles(jobs=args.jobs)
+    perf_baseline.write_baseline(PERF_BASELINE, current)
+    print(f"wrote {os.path.relpath(PERF_BASELINE, REPO_ROOT)}")
+    for name, counters in current.items():
+        print(f"  {name}: {counters['cycles']} cycles")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -223,6 +271,26 @@ def main(argv=None) -> int:
         help="farm workers (default 1; parallel benchmarks perturb timings)",
     )
     cmp_p.set_defaults(func=cmd_compare)
+
+    cyc_p = sub.add_parser("cycles", help="deterministic counter gate vs PERF_BASELINE.json")
+    cyc_p.add_argument("--gate", help="explicit baseline path (default PERF_BASELINE.json)")
+    cyc_p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="max tolerated counter growth fraction (default: baseline's, 0.02)",
+    )
+    cyc_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="farm workers (counters are deterministic; parallelism is free here)",
+    )
+    cyc_p.set_defaults(func=cmd_cycles)
+
+    upd_p = sub.add_parser("update-baseline", help="rewrite PERF_BASELINE.json from a fresh run")
+    upd_p.add_argument("--jobs", type=int, default=1)
+    upd_p.set_defaults(func=cmd_update_baseline)
 
     args = parser.parse_args(argv)
     return args.func(args)
