@@ -357,7 +357,11 @@ def run_campaign_plan(
     for engine_name in engines:
         target = campaign.make_target()
         runs[engine_name] = run_plan(
-            target, plan, fast=(engine_name == "fast"), max_steps=campaign.max_steps
+            target,
+            plan,
+            fast=(engine_name != "precise"),
+            jit=(engine_name == "jit"),
+            max_steps=campaign.max_steps,
         )
     violations: List[Dict[str, Any]] = []
     for engine_name in sorted(runs):
@@ -418,22 +422,27 @@ def run_campaign_plan(
                             "engine": engine_name,
                         }
                     )
-    if "fast" in runs and "precise" in runs:
-        fast, precise = runs["fast"], runs["precise"]
-        for check, matched in (
-            ("differential-records", fast.records == precise.records),
-            ("differential-final", fast.final == precise.final),
-            ("differential-outputs", fast.outputs == precise.outputs),
-        ):
-            if not matched:
-                violations.append(
-                    {
-                        "check": check,
-                        "detail": "fastpath and precise runs diverged under identical injections",
-                        "step": -1,
-                        "engine": "both",
-                    }
-                )
+    ordered = [name for name in ("fast", "precise", "jit") if name in runs]
+    for i, left_name in enumerate(ordered):
+        for right_name in ordered[i + 1:]:
+            left, right = runs[left_name], runs[right_name]
+            for check, matched in (
+                ("differential-records", left.records == right.records),
+                ("differential-final", left.final == right.final),
+                ("differential-outputs", left.outputs == right.outputs),
+            ):
+                if not matched:
+                    violations.append(
+                        {
+                            "check": check,
+                            "detail": (
+                                f"{left_name} and {right_name} runs diverged "
+                                "under identical injections"
+                            ),
+                            "step": -1,
+                            "engine": f"{left_name}+{right_name}",
+                        }
+                    )
     engine_summaries = {
         engine_name: {
             "outcome": run.outcome,

@@ -76,6 +76,12 @@ def sim_main(argv=None) -> int:
         "(default 5,000,000; the farm's per-job guard uses the same limit)",
     )
     parser.add_argument("--input", type=int, action="append", default=[])
+    parser.add_argument(
+        "--jit",
+        action="store_true",
+        help="enable profile-guided superblock fusion on the fast path "
+        "(behaviour and output are bit-identical; hot loops run faster)",
+    )
     args = parser.parse_args(argv)
     from .sim import HazardMode, KernelPanic, Machine, MachineFault
     from .asm import assemble
@@ -87,7 +93,7 @@ def sim_main(argv=None) -> int:
             inputs=args.input,
         )
     try:
-        stats = machine.run(args.max_steps)
+        stats = machine.run(args.max_steps, jit=args.jit)
     except (MachineFault, KernelPanic) as exc:
         return _report_guest_failure(machine, exc)
     except TimeoutError:
@@ -265,6 +271,14 @@ def farm_main(argv=None) -> int:
     )
     run_p.add_argument("--max-steps", type=int, default=30_000_000)
     run_p.add_argument(
+        "--sim-engine",
+        choices=["fast", "jit", "precise"],
+        default="fast",
+        dest="sim_engine",
+        help="simulation engine for workload jobs (results are identical; "
+        "'jit' is fastest on loop-heavy workloads)",
+    )
+    run_p.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS", help="per-job wall budget"
     )
     run_p.add_argument(
@@ -306,6 +320,7 @@ def farm_main(argv=None) -> int:
             opt_level=args.opt,
             max_steps=args.max_steps,
             register_allocation=not args.no_regalloc,
+            engine=args.sim_engine,
         )
     ) + list(experiment_jobs(args.experiment))
 
@@ -359,9 +374,11 @@ def chaos_main(argv=None) -> int:
     )
     run_p.add_argument(
         "--engine",
-        choices=["fast", "precise", "both"],
+        choices=["fast", "precise", "jit", "both", "all"],
         default="both",
-        help="execution engine(s); 'both' also checks the differential",
+        help="execution engine(s); 'both' runs fast+precise, 'all' adds the "
+        "superblock JIT tier -- multi-engine runs check the full pairwise "
+        "differential",
     )
     run_p.add_argument(
         "--results", metavar="FILE", help="stream result records to a JSON-lines file"
@@ -389,7 +406,10 @@ def chaos_main(argv=None) -> int:
         parser.error(
             f"unknown campaigns: {', '.join(unknown)} (have: {', '.join(sorted(CAMPAIGNS))})"
         )
-    engines = ("fast", "precise") if args.engine == "both" else (args.engine,)
+    engines = {
+        "both": ("fast", "precise"),
+        "all": ("fast", "precise", "jit"),
+    }.get(args.engine, (args.engine,))
 
     store = ResultStore(args.results) if args.results else None
     failed = 0
@@ -449,9 +469,10 @@ def prof_main(argv=None) -> int:
     )
     run_p.add_argument(
         "--engine",
-        choices=["fast", "precise"],
+        choices=["fast", "precise", "jit"],
         default="fast",
-        help="execution engine (output is identical either way; see tests)",
+        help="execution engine (output is identical whichever runs; with "
+        "'jit', hot entries additionally report their compilation tier)",
     )
     run_p.add_argument("--mode", choices=["bare", "checked", "interlocked"], default="bare")
     run_p.add_argument("--max-steps", type=int, default=30_000_000)
@@ -464,6 +485,13 @@ def prof_main(argv=None) -> int:
     corpus_p.add_argument("--top", type=int, default=20, metavar="N")
     corpus_p.add_argument(
         "--results", metavar="FILE", help="also stream full farm records to a JSONL file"
+    )
+    corpus_p.add_argument(
+        "--engine",
+        choices=["fast", "precise", "jit"],
+        default="fast",
+        help="execution engine for every corpus job (profiles are identical "
+        "whichever runs -- CI diffs them to prove it)",
     )
 
     claims_p = sub.add_parser(
@@ -485,7 +513,11 @@ def prof_main(argv=None) -> int:
     store = ResultStore(getattr(args, "results", None)) if args.command == "corpus" else None
     try:
         records = Scheduler(jobs=args.jobs, store=store).run(
-            profile_jobs(list(QUICK_PROGRAMS), top=getattr(args, "top", None))
+            profile_jobs(
+                list(QUICK_PROGRAMS),
+                top=getattr(args, "top", None),
+                engine=getattr(args, "engine", "fast"),
+            )
         )
     finally:
         if store is not None:
@@ -538,7 +570,11 @@ def _prof_run(args) -> int:
     machine = Machine(program, hazard_mode=HazardMode(args.mode), inputs=args.input)
     Profiler().attach(machine.cpu)
     try:
-        machine.run(args.max_steps, fast=(args.engine == "fast"))
+        machine.run(
+            args.max_steps,
+            fast=(args.engine != "precise"),
+            jit=(args.engine == "jit"),
+        )
     except (MachineFault, KernelPanic) as exc:
         return _report_guest_failure(machine, exc)
     except TimeoutError:
@@ -547,7 +583,9 @@ def _prof_run(args) -> int:
             file=sys.stderr,
         )
         return EXIT_STEP_BUDGET
-    profile = build_profile(machine.cpu, program, top=args.top, name=name)
+    profile = build_profile(
+        machine.cpu, program, top=args.top, name=name, tiers=(args.engine == "jit")
+    )
     if args.format == "json":
         print(render_json(profile))
     elif args.format == "collapsed":

@@ -128,19 +128,45 @@ class Job:
         )
 
 
+def _engine_spec(engine: str, engine_stats: bool) -> Dict[str, Any]:
+    """Spec fragment selecting the simulation engine.
+
+    The default engine ("fast") is omitted from the spec so every job
+    key minted before engines existed stays stable -- cached results
+    keep matching.
+    """
+    spec: Dict[str, Any] = {}
+    if engine != "fast":
+        spec["engine"] = engine
+    if engine_stats:
+        spec["engine_stats"] = True
+    return spec
+
+
 def workload_jobs(
     names: Sequence[str],
     hazard_mode: str = "bare",
     opt_level: str = "branch-delay",
     max_steps: int = 30_000_000,
     register_allocation: bool = True,
+    engine: str = "fast",
+    engine_stats: bool = False,
 ) -> Tuple[Job, ...]:
-    """One simulation job per named corpus workload."""
+    """One simulation job per named corpus workload.
+
+    ``engine`` selects the simulation tier ("fast", "jit", "precise");
+    ``engine_stats=True`` records the fast-path dispatch counters in
+    the result's extras (deterministic -- the CI dispatch gate keys on
+    them).
+    """
     return tuple(
         Job(
             kind=KIND_WORKLOAD,
             name=name,
-            spec={"register_allocation": register_allocation},
+            spec={
+                "register_allocation": register_allocation,
+                **_engine_spec(engine, engine_stats),
+            },
             hazard_mode=hazard_mode,
             opt_level=opt_level,
             max_steps=max_steps,
@@ -155,6 +181,8 @@ def profile_jobs(
     hazard_mode: str = "bare",
     opt_level: str = "branch-delay",
     max_steps: int = 30_000_000,
+    engine: str = "fast",
+    engine_stats: bool = False,
 ) -> Tuple[Job, ...]:
     """Workload jobs with per-PC profiling enabled.
 
@@ -169,6 +197,7 @@ def profile_jobs(
             spec={
                 "register_allocation": True,
                 "profile": top if top is not None else True,
+                **_engine_spec(engine, engine_stats),
             },
             hazard_mode=hazard_mode,
             opt_level=opt_level,

@@ -110,12 +110,24 @@ def _error_info(exc: BaseException) -> Dict[str, Any]:
     return info
 
 
-def _run_machine(record: Dict[str, Any], machine, max_steps: int) -> None:
+#: engine names a job spec may select (default "fast"; "jit" layers
+#: superblock fusion on the fast path, "precise" is the per-step loop)
+ENGINES = ("fast", "jit", "precise")
+
+
+def _engine_args(engine: str) -> Dict[str, bool]:
+    """Map an engine name onto Machine.run keyword arguments."""
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r} (have {', '.join(ENGINES)})")
+    return {"fast": engine != "precise", "jit": engine == "jit"}
+
+
+def _run_machine(record: Dict[str, Any], machine, max_steps: int, engine: str = "fast") -> None:
     """Run a loaded machine, folding faults into the record."""
     from ..sim.faults import MachineFault
 
     try:
-        machine.run(max_steps)
+        machine.run(max_steps, **_engine_args(engine))
     except TimeoutError as exc:
         record["status"] = STATUS_TIMEOUT
         record["error"] = _error_info(exc)
@@ -185,13 +197,30 @@ def _export_profile(record: Dict[str, Any], job: Mapping[str, Any], machine, pro
     )
 
 
+def _export_engine_stats(record: Dict[str, Any], job: Mapping[str, Any], machine) -> None:
+    """Record the fast-path engine's dispatch counters when asked.
+
+    Dispatch accounting (handler dispatches, block entries, reference
+    steps) is deterministic per workload, which is what lets CI gate on
+    it machine-independently; wall-clock noise never enters.
+    """
+    spec = job.get("spec", {})
+    if not spec.get("engine_stats") or spec.get("engine", "fast") == "precise":
+        return
+    from dataclasses import asdict
+
+    record["extra"]["engine_stats"] = asdict(machine.cpu.fastpath().stats)
+
+
 def _execute_simulation(record: Dict[str, Any], job: Mapping[str, Any]) -> None:
     compiled = _compile_workload(job)
     machine = _build_machine(job, compiled.program)
     record["extra"]["static_words"] = compiled.static_count
     _attach_profiler(job, machine)
-    _run_machine(record, machine, job.get("max_steps", 30_000_000))
+    engine = job.get("spec", {}).get("engine", "fast")
+    _run_machine(record, machine, job.get("max_steps", 30_000_000), engine)
     _export_profile(record, job, machine, compiled.program)
+    _export_engine_stats(record, job, machine)
 
 
 def _execute_asm(record: Dict[str, Any], job: Mapping[str, Any]) -> None:
@@ -205,8 +234,9 @@ def _execute_asm(record: Dict[str, Any], job: Mapping[str, Any]) -> None:
         # two valid regions now raise PageFault (the page-map fault path)
         machine.cpu.surprise.mapping_enabled = True
     _attach_profiler(job, machine)
-    _run_machine(record, machine, job.get("max_steps", 30_000_000))
+    _run_machine(record, machine, job.get("max_steps", 30_000_000), spec.get("engine", "fast"))
     _export_profile(record, job, machine, program)
+    _export_engine_stats(record, job, machine)
 
 
 def _execute_experiment(record: Dict[str, Any], job: Mapping[str, Any]) -> None:

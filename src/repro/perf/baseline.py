@@ -66,18 +66,75 @@ def collect_cycles(
     return dict(sorted(out.items()))
 
 
-def baseline_document(benchmarks: Dict[str, Dict[str, int]]) -> Dict[str, Any]:
+#: the dispatch-floor counters (machine-independent throughput proxy):
+#: ``dispatches`` is every per-word handler entry plus every fused-block
+#: entry plus every reference-stepper delegation -- the number of times
+#: the engine paid a dispatch, which wall-clock throughput tracks but
+#: which, unlike wall clock, is exactly reproducible anywhere
+DISPATCH_COUNTERS = (
+    "dispatches",
+    "ref_steps",
+)
+
+
+def collect_dispatch(
+    names: Sequence[str] = QUICK_PROGRAMS,
+    jobs: int = 1,
+    store=None,
+) -> Dict[str, Dict[str, int]]:
+    """Per-workload dispatch counts under the JIT engine, via the farm.
+
+    Runs every workload with ``engine="jit"`` and the engine-stats
+    export on; burst boundaries, heat accumulation, and block formation
+    are all serial and exact, so the counts are bit-identical on any
+    machine -- which is what lets CI gate throughput without touching a
+    clock.
+    """
+    from ..farm.job import workload_jobs
+    from ..farm.scheduler import Scheduler
+
+    records = Scheduler(jobs=jobs, store=store).run(
+        workload_jobs(list(names), engine="jit", engine_stats=True)
+    )
+    out: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        if record["status"] != "ok":
+            raise RuntimeError(
+                f"workload {record['name']!r} did not complete cleanly "
+                f"(status={record['status']}): cannot build a trustworthy baseline"
+            )
+        engine_stats = record["extra"].get("engine_stats") or {}
+        dispatches = (
+            int(engine_stats.get("word_dispatches", 0))
+            + int(engine_stats.get("block_entries", 0))
+            + int(engine_stats.get("ref_steps", 0))
+        )
+        out[record["name"]] = {
+            "dispatches": dispatches,
+            "ref_steps": int(engine_stats.get("ref_steps", 0)),
+        }
+    return dict(sorted(out.items()))
+
+
+def baseline_document(
+    benchmarks: Dict[str, Dict[str, int]],
+    counters: Sequence[str] = GATED_COUNTERS,
+) -> Dict[str, Any]:
     return {
         "version": BASELINE_VERSION,
         "threshold": DEFAULT_THRESHOLD,
-        "counters": list(GATED_COUNTERS),
+        "counters": list(counters),
         "benchmarks": benchmarks,
     }
 
 
-def write_baseline(path: str, benchmarks: Dict[str, Dict[str, int]]) -> None:
+def write_baseline(
+    path: str,
+    benchmarks: Dict[str, Dict[str, int]],
+    counters: Sequence[str] = GATED_COUNTERS,
+) -> None:
     with open(path, "w") as fh:
-        json.dump(baseline_document(benchmarks), fh, indent=2, sort_keys=True)
+        json.dump(baseline_document(benchmarks, counters), fh, indent=2, sort_keys=True)
         fh.write("\n")
 
 
@@ -136,18 +193,17 @@ def compare(
 def render_gate(
     regressions: Sequence[Regression],
     threshold: float = DEFAULT_THRESHOLD,
+    gate_name: str = "perf gate",
+    refresh_command: str = "python tools/bench_report.py update-baseline",
 ) -> str:
     if not regressions:
-        return f"perf gate: ok (no counter grew more than {threshold * 100:.0f}%)\n"
+        return f"{gate_name}: ok (no counter grew more than {threshold * 100:.0f}%)\n"
     worst = regressions[0]
     lines = [
-        f"perf gate: FAIL -- {len(regressions)} counter(s) grew more than "
+        f"{gate_name}: FAIL -- {len(regressions)} counter(s) grew more than "
         f"{threshold * 100:.0f}%",
         f"worst offender: {worst.render()}",
     ]
     lines += [f"  {regression.render()}" for regression in regressions]
-    lines.append(
-        "if this growth is intended, refresh the baseline with: "
-        "python tools/bench_report.py update-baseline"
-    )
+    lines.append(f"if this growth is intended, refresh the baseline with: {refresh_command}")
     return "\n".join(lines) + "\n"
