@@ -8,6 +8,8 @@
 ``mips-experiments``      run the paper's tables and figures (``--jobs N``)
 ``mips-farm``             batch simulation service: ``run`` / ``status``
 ``mips-chaos``            fault-injection campaigns: ``run`` / ``list``
+``mips-serve``            gateway + result cache: ``serve`` / ``submit`` /
+                          ``status`` / ``warm``
 ========================  ===================================================
 """
 
@@ -232,6 +234,84 @@ def experiments_main(argv=None) -> int:
     return 0
 
 
+def _add_batch_options(parser) -> None:
+    """Job-selection flags shared by ``mips-farm run`` and ``mips-serve``."""
+    parser.add_argument(
+        "--workload",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="corpus program to simulate (repeatable; default: the quick corpus)",
+    )
+    parser.add_argument(
+        "--experiment",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="paper experiment to run as a job (repeatable)",
+    )
+    parser.add_argument(
+        "--mode", choices=["bare", "checked", "interlocked"], default="bare"
+    )
+    parser.add_argument(
+        "--opt",
+        choices=["none", "reorganize", "pack", "branch-delay"],
+        default="branch-delay",
+        help="postpass optimization level for compiled workloads",
+    )
+    parser.add_argument(
+        "--no-regalloc",
+        action="store_true",
+        help="compile without register allocation (era-compiler mode)",
+    )
+    parser.add_argument("--max-steps", type=int, default=30_000_000)
+    parser.add_argument(
+        "--sim-engine",
+        choices=["fast", "jit", "precise"],
+        default="fast",
+        dest="sim_engine",
+        help="simulation engine for workload jobs (results are identical; "
+        "'jit' is fastest on loop-heavy workloads)",
+    )
+
+
+def _batch_jobs(args, parser):
+    """The canonical job list for a batch-selection argument set."""
+    from .experiments import REGISTRY
+    from .farm.job import experiment_jobs, workload_jobs
+    from .workloads import CORPUS, QUICK_PROGRAMS
+
+    workloads = args.workload or (list(QUICK_PROGRAMS) if not args.experiment else [])
+    bad = [n for n in workloads if n not in CORPUS]
+    bad += [n for n in args.experiment if n not in REGISTRY]
+    if bad:
+        parser.error(f"unknown workloads/experiments: {', '.join(bad)}")
+    return list(
+        workload_jobs(
+            workloads,
+            hazard_mode=args.mode,
+            opt_level=args.opt,
+            max_steps=args.max_steps,
+            register_allocation=not args.no_regalloc,
+            engine=args.sim_engine,
+        )
+    ) + list(experiment_jobs(args.experiment))
+
+
+def _write_stable_results(path: str, records) -> None:
+    """Stable-view JSONL in submission order -- deterministic at any --jobs.
+
+    These are the same bytes, line for line, that ``mips-serve submit``
+    streams for the same job list, which is what lets CI ``cmp`` a
+    gateway run against a direct farm run.
+    """
+    from .farm.store import stable_view
+
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(stable_view(record), sort_keys=True) + "\n")
+
+
 def farm_main(argv=None) -> int:
     """``mips-farm``: batch workload execution over the simulation farm."""
     parser = argparse.ArgumentParser(
@@ -240,44 +320,8 @@ def farm_main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_p = sub.add_parser("run", help="execute a batch of simulation jobs")
-    run_p.add_argument(
-        "--workload",
-        action="append",
-        default=[],
-        metavar="NAME",
-        help="corpus program to simulate (repeatable; default: the quick corpus)",
-    )
-    run_p.add_argument(
-        "--experiment",
-        action="append",
-        default=[],
-        metavar="NAME",
-        help="paper experiment to run as a job (repeatable)",
-    )
+    _add_batch_options(run_p)
     run_p.add_argument("--jobs", type=int, default=1, metavar="N", help="worker processes")
-    run_p.add_argument(
-        "--mode", choices=["bare", "checked", "interlocked"], default="bare"
-    )
-    run_p.add_argument(
-        "--opt",
-        choices=["none", "reorganize", "pack", "branch-delay"],
-        default="branch-delay",
-        help="postpass optimization level for compiled workloads",
-    )
-    run_p.add_argument(
-        "--no-regalloc",
-        action="store_true",
-        help="compile without register allocation (era-compiler mode)",
-    )
-    run_p.add_argument("--max-steps", type=int, default=30_000_000)
-    run_p.add_argument(
-        "--sim-engine",
-        choices=["fast", "jit", "precise"],
-        default="fast",
-        dest="sim_engine",
-        help="simulation engine for workload jobs (results are identical; "
-        "'jit' is fastest on loop-heavy workloads)",
-    )
     run_p.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS", help="per-job wall budget"
     )
@@ -291,13 +335,24 @@ def farm_main(argv=None) -> int:
     run_p.add_argument(
         "--results", metavar="FILE", help="stream result records to a JSON-lines file"
     )
+    run_p.add_argument(
+        "--stable-results",
+        metavar="FILE",
+        help="write stable-view JSONL in submission order (deterministic bytes "
+        "at any --jobs; comparable with a `mips-serve submit` stream)",
+    )
+    run_p.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="persistent result cache: serve content-addressed hits without "
+        "executing, store completed deterministic results back",
+    )
 
     status_p = sub.add_parser("status", help="summarize a results file")
     status_p.add_argument("results", help="JSON-lines file written by `mips-farm run`")
 
     args = parser.parse_args(argv)
     from .farm import ResultStore, Scheduler, aggregate, render_summary
-    from .farm.job import experiment_jobs, workload_jobs
 
     if args.command == "status":
         records = ResultStore.load(args.results)
@@ -305,30 +360,17 @@ def farm_main(argv=None) -> int:
         print(render_summary(summary))
         return 0 if not summary["failures"] and not summary["duplicates"] else 1
 
-    from .experiments import REGISTRY
-    from .workloads import CORPUS, QUICK_PROGRAMS
-
-    workloads = args.workload or (list(QUICK_PROGRAMS) if not args.experiment else [])
-    bad = [n for n in workloads if n not in CORPUS]
-    bad += [n for n in args.experiment if n not in REGISTRY]
-    if bad:
-        parser.error(f"unknown workloads/experiments: {', '.join(bad)}")
-    job_list = list(
-        workload_jobs(
-            workloads,
-            hazard_mode=args.mode,
-            opt_level=args.opt,
-            max_steps=args.max_steps,
-            register_allocation=not args.no_regalloc,
-            engine=args.sim_engine,
-        )
-    ) + list(experiment_jobs(args.experiment))
+    job_list = _batch_jobs(args, parser)
 
     kwargs = {}
     if args.timeout is not None:
         kwargs["timeout_s"] = args.timeout
     if args.retries is not None:
         kwargs["max_attempts"] = 1 + args.retries
+    if args.cache:
+        from .service.cache import ResultCache
+
+        kwargs["cache"] = ResultCache(args.cache)
     store = ResultStore(args.results) if args.results else None
     try:
         scheduler = Scheduler(jobs=args.jobs, store=store, **kwargs)
@@ -336,9 +378,13 @@ def farm_main(argv=None) -> int:
     finally:
         if store is not None:
             store.close()
+    if args.stable_results:
+        _write_stable_results(args.stable_results, report.records)
     for record in report.records:
         status = record["status"]
         line = f"{record['name']:24s} {status:8s} attempt(s)={record['attempts']}"
+        if record.get("cached"):
+            line += " (cached)"
         if record["stats"]:
             line += f" cycles={record['cycles']} words={record['words']}"
         if record["error"]:
@@ -347,11 +393,14 @@ def farm_main(argv=None) -> int:
     summary = aggregate(report.records)
     mode = "serial (in-process)" if report.degraded_serial else f"{args.jobs} workers"
     print()
-    print(
+    farm_line = (
         f"farm: {report.submitted} jobs via {mode}, "
         f"{report.retries} retries, {report.crashes} crashes, "
         f"{report.timeouts} timeouts, {report.wall_s:.2f}s wall"
     )
+    if args.cache:
+        farm_line += f", {report.cache_hits} cache hits / {report.cache_misses} misses"
+    print(farm_line)
     print(render_summary(summary))
     return 0 if summary["by_status"].get("ok", 0) == summary["jobs"] else 1
 
@@ -441,6 +490,164 @@ def chaos_main(argv=None) -> int:
         summary = aggregate(ResultStore.load(args.results))
         print(f"aggregate digest: {summary['digest']}")
     return 1 if failed else 0
+
+
+def serve_main(argv=None) -> int:
+    """``mips-serve``: the simulation gateway and its command-line clients.
+
+    ``serve`` runs the asyncio HTTP/JSON gateway in front of the farm;
+    ``submit`` posts a batch and streams deterministic stable-view
+    JSONL to stdout; ``status`` reads the gateway counters (or one
+    cached result by job key); ``warm`` populates the on-disk cache
+    offline, no server required.
+    """
+    parser = argparse.ArgumentParser(
+        description="simulation-as-a-service gateway with a persistent "
+        "content-addressed result cache"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve_p = sub.add_parser("serve", help="run the HTTP/JSON gateway")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=None, help="TCP port (default 8471)")
+    serve_p.add_argument(
+        "--cache",
+        default=".mips-cache",
+        metavar="DIR",
+        help="persistent result cache directory (default .mips-cache)",
+    )
+    serve_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="farm worker processes per batch"
+    )
+    serve_p.add_argument(
+        "--quota",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant bound on jobs executing or queued (default 64); "
+        "a request pushing past it gets 429 + Retry-After",
+    )
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a batch, stream stable-view JSONL to stdout"
+    )
+    submit_p.add_argument("--host", default="127.0.0.1")
+    submit_p.add_argument("--port", type=int, default=None)
+    submit_p.add_argument("--tenant", default="anon", help="quota accounting identity")
+    submit_p.add_argument(
+        "--results", metavar="FILE", help="also write the streamed lines to FILE"
+    )
+    _add_batch_options(submit_p)
+
+    status_p = sub.add_parser("status", help="gateway counters, or one cached result")
+    status_p.add_argument("key", nargs="?", help="job key to look up (default: /stats)")
+    status_p.add_argument("--host", default="127.0.0.1")
+    status_p.add_argument("--port", type=int, default=None)
+
+    warm_p = sub.add_parser("warm", help="populate the cache offline (no server needed)")
+    warm_p.add_argument("--cache", required=True, metavar="DIR")
+    warm_p.add_argument("--jobs", type=int, default=1, metavar="N", help="worker processes")
+    _add_batch_options(warm_p)
+
+    args = parser.parse_args(argv)
+    from .service import DEFAULT_PORT, DEFAULT_QUOTA_JOBS
+
+    port = args.port if getattr(args, "port", None) is not None else DEFAULT_PORT
+
+    if args.command == "serve":
+        import asyncio
+
+        from .service import Gateway, ResultCache
+
+        cache = ResultCache(args.cache)
+        gateway = Gateway(
+            cache=cache,
+            host=args.host,
+            port=port,
+            farm_jobs=args.jobs,
+            quota_jobs=args.quota if args.quota is not None else DEFAULT_QUOTA_JOBS,
+        )
+
+        async def _serve() -> None:
+            await gateway.start()
+            print(
+                f"mips-serve: listening on http://{gateway.host}:{gateway.port} "
+                f"(cache {args.cache}: {len(cache)} entries, "
+                f"quota {gateway.quota_jobs} jobs/tenant)",
+                flush=True,
+            )
+            await gateway.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    from .service import ServiceClient, ServiceError
+
+    if args.command == "status":
+        client = ServiceClient(args.host, port)
+        try:
+            payload = client.result(args.key) if args.key else client.stats()
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"error: cannot reach gateway at {args.host}:{port}: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "warm":
+        from .farm import Scheduler, aggregate
+        from .service import ResultCache
+
+        cache = ResultCache(args.cache)
+        report = Scheduler(jobs=args.jobs, cache=cache).run_report(_batch_jobs(args, parser))
+        summary = aggregate(report.records)
+        print(
+            f"warm: {report.submitted} jobs, {report.cache_hits} already cached, "
+            f"{report.cache_misses} executed, digest {summary['digest']}"
+        )
+        return 0 if summary["by_status"].get("ok", 0) == summary["jobs"] else 1
+
+    # submit
+    from .farm import aggregate
+
+    jobs = _batch_jobs(args, parser)
+    client = ServiceClient(args.host, port, tenant=args.tenant)
+    try:
+        result = client.submit([job.to_dict() for job in jobs])
+    except ServiceError as exc:
+        if exc.status == 429:
+            print(
+                f"error: {exc} (retry after {exc.retry_after or 1}s)", file=sys.stderr
+            )
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot reach gateway at {args.host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    out = open(args.results, "w") if args.results else None
+    try:
+        for line in result.lines:
+            print(line)
+            if out is not None:
+                out.write(line + "\n")
+    finally:
+        if out is not None:
+            out.close()
+    summary = aggregate(result.records)
+    ok = summary["by_status"].get("ok", 0)
+    print(
+        f"service: jobs={len(result.records)} hits={result.cache_hits} "
+        f"misses={result.cache_misses} coalesced={result.coalesced} "
+        f"digest={summary['digest']}",
+        file=sys.stderr,
+    )
+    return 0 if ok == summary["jobs"] else 1
 
 
 def prof_main(argv=None) -> int:

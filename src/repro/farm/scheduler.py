@@ -36,8 +36,8 @@ import os
 import sys
 import time
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .job import Job
 from .worker import crash_record, execute_job, strip_payload, wall_timeout_record
@@ -124,6 +124,10 @@ class FarmReport:
     timeouts: int = 0
     degraded_serial: bool = False
     wall_s: float = 0.0
+    #: jobs served from the persistent result cache without dispatch
+    cache_hits: int = 0
+    #: jobs that missed the cache and were actually executed
+    cache_misses: int = 0
 
     @property
     def ok(self) -> int:
@@ -142,6 +146,7 @@ class Scheduler:
         backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
         store=None,
         serial: Optional[bool] = None,
+        cache=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -151,6 +156,9 @@ class Scheduler:
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self.store = store
+        #: optional repro.service.cache.ResultCache; hits skip dispatch
+        #: entirely and completed deterministic jobs are written back
+        self.cache = cache
         if serial is None:
             serial = jobs <= 1 or bool(os.environ.get(_ENV_FORCE_SERIAL))
         self.serial = serial
@@ -169,12 +177,14 @@ class Scheduler:
         if not jobs:
             report.wall_s = time.monotonic() - started
             return report
-        if self.serial:
+        results: Dict[int, Dict[str, Any]] = {}
+        items = self._drain_cache(list(enumerate(jobs)), results, report)
+        if items and self.serial:
             report.degraded_serial = True
-            results = self._run_serial(jobs, report)
-        else:
+            self._run_serial(items, results, report)
+        elif items:
             try:
-                results = self._run_pool(jobs, report)
+                self._run_pool(items, results, report)
             except OSError as exc:
                 # the environment refused to give us processes: degrade
                 print(
@@ -183,12 +193,34 @@ class Scheduler:
                     file=sys.stderr,
                 )
                 report.degraded_serial = True
-                results = self._run_serial(jobs, report)
+                self._run_serial(items, results, report)
         report.records = [results[i] for i in range(len(jobs))]
         report.wall_s = time.monotonic() - started
         return report
 
     # -- shared plumbing ---------------------------------------------------
+
+    def _drain_cache(
+        self,
+        items: List[Tuple[int, Job]],
+        results: Dict[int, Dict[str, Any]],
+        report: FarmReport,
+    ) -> List[Tuple[int, Job]]:
+        """Serve cache hits immediately; return the jobs still to run."""
+        if self.cache is None:
+            return items
+        missed: List[Tuple[int, Job]] = []
+        for index, job in items:
+            record = self.cache.fetch(job, index=index)
+            if record is None:
+                missed.append((index, job))
+                continue
+            report.cache_hits += 1
+            results[index] = record
+            if self.store is not None:
+                self.store.append(record)
+        report.cache_misses = len(missed)
+        return missed
 
     def _budget(self, job: Job) -> float:
         return job.timeout_s if job.timeout_s is not None else self.timeout_s
@@ -207,12 +239,18 @@ class Scheduler:
         results[pending.index] = record
         if self.store is not None:
             self.store.append(record)
+        if self.cache is not None:
+            self.cache.put(record)
 
     # -- serial fallback ---------------------------------------------------
 
-    def _run_serial(self, jobs: Sequence[Job], report: FarmReport) -> Dict[int, Dict[str, Any]]:
-        results: Dict[int, Dict[str, Any]] = {}
-        for index, job in enumerate(jobs):
+    def _run_serial(
+        self,
+        items: Sequence[Tuple[int, Job]],
+        results: Dict[int, Dict[str, Any]],
+        report: FarmReport,
+    ) -> None:
+        for index, job in items:
             pending = _Pending(index, job)
             cap = self._attempt_cap(job)
             while True:
@@ -224,7 +262,6 @@ class Scheduler:
                     continue
                 self._finalize(results, pending, record)
                 break
-        return results
 
     # -- the pool ----------------------------------------------------------
 
@@ -235,12 +272,17 @@ class Scheduler:
         child_conn.close()
         return _WorkerHandle(process=process, conn=parent_conn)
 
-    def _run_pool(self, jobs: Sequence[Job], report: FarmReport) -> Dict[int, Dict[str, Any]]:
+    def _run_pool(
+        self,
+        items: Sequence[Tuple[int, Job]],
+        results: Dict[int, Dict[str, Any]],
+        report: FarmReport,
+    ) -> None:
         from multiprocessing.connection import wait as conn_wait
 
         self._ctx = _pick_context()
-        pending: deque = deque(_Pending(i, job) for i, job in enumerate(jobs))
-        results: Dict[int, Dict[str, Any]] = {}
+        pending: deque = deque(_Pending(i, job) for i, job in items)
+        target = len(results) + len(items)
         idle: List[_WorkerHandle] = []
         busy: List[_WorkerHandle] = []
 
@@ -261,7 +303,7 @@ class Scheduler:
                 self._finalize(results, pending_job, record)
 
         try:
-            while len(results) < len(jobs):
+            while len(results) < target:
                 now = time.monotonic()
 
                 # hand ready work to idle workers, spawning up to N
@@ -332,7 +374,6 @@ class Scheduler:
             for worker in idle + busy:
                 if worker.process.is_alive():  # pragma: no cover
                     worker.process.join(1.0)
-        return results
 
 
 def run_jobs(

@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from typing import IO, Any, Dict, Iterable, List, Mapping, Optional
 
 from .worker import json_safe_record
 
 #: record fields that vary run-to-run and are excluded from the digest
-VOLATILE_FIELDS = ("wall_s", "attempt", "attempts", "index")
+#: ("cached" marks a record served from the persistent result cache --
+#: where it came from must not change what it digests to)
+VOLATILE_FIELDS = ("wall_s", "attempt", "attempts", "index", "cached")
 
 
 class ResultStore:
@@ -54,13 +57,42 @@ class ResultStore:
 
     @staticmethod
     def load(path: str) -> List[Dict[str, Any]]:
-        """Read a JSON-lines result stream back into records."""
-        records = []
+        """Read a JSON-lines result stream back into records.
+
+        A process killed mid-``append`` leaves a partial final line on
+        disk; that is crash damage, not data loss -- every complete
+        record is still intact.  The partial trailing record is skipped
+        with a structured warning on stderr.  A malformed line anywhere
+        *else* is real corruption and still raises.
+        """
         with open(path) as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    records.append(json.loads(line))
+            lines = [
+                (number, line.strip())
+                for number, line in enumerate(handle, start=1)
+                if line.strip()
+            ]
+        records = []
+        for position, (number, line) in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if position == len(lines) - 1:
+                    print(
+                        json.dumps(
+                            {
+                                "warning": "truncated-result-record",
+                                "path": path,
+                                "line": number,
+                                "detail": f"skipped partial trailing record ({exc.msg})",
+                            },
+                            sort_keys=True,
+                        ),
+                        file=sys.stderr,
+                    )
+                    break
+                raise ValueError(
+                    f"{path}:{number}: corrupt result record mid-stream: {exc}"
+                ) from exc
         return records
 
 

@@ -44,16 +44,21 @@ def collect_cycles(
     names: Sequence[str] = QUICK_PROGRAMS,
     jobs: int = 1,
     store=None,
+    cache=None,
 ) -> Dict[str, Dict[str, int]]:
     """Per-workload gated counters, collected through the farm.
 
     Sharding (``jobs``) only changes wall time; the counters in every
     record are deterministic, so the result is identical at any width.
+    ``cache`` (a :class:`repro.service.cache.ResultCache`) serves
+    previously-collected workloads without re-simulating -- safe for the
+    same reason the gate is blocking: the counters cannot drift between
+    identical jobs.
     """
     from ..farm.job import workload_jobs
     from ..farm.scheduler import Scheduler
 
-    records = Scheduler(jobs=jobs, store=store).run(workload_jobs(list(names)))
+    records = Scheduler(jobs=jobs, store=store, cache=cache).run(workload_jobs(list(names)))
     out: Dict[str, Dict[str, int]] = {}
     for record in records:
         if record["status"] != "ok":
@@ -81,6 +86,7 @@ def collect_dispatch(
     names: Sequence[str] = QUICK_PROGRAMS,
     jobs: int = 1,
     store=None,
+    cache=None,
 ) -> Dict[str, Dict[str, int]]:
     """Per-workload dispatch counts under the JIT engine, via the farm.
 
@@ -88,12 +94,13 @@ def collect_dispatch(
     export on; burst boundaries, heat accumulation, and block formation
     are all serial and exact, so the counts are bit-identical on any
     machine -- which is what lets CI gate throughput without touching a
-    clock.
+    clock.  ``cache`` serves repeat collections from the persistent
+    result cache (the engine-stats live in the cached record's extras).
     """
     from ..farm.job import workload_jobs
     from ..farm.scheduler import Scheduler
 
-    records = Scheduler(jobs=jobs, store=store).run(
+    records = Scheduler(jobs=jobs, store=store, cache=cache).run(
         workload_jobs(list(names), engine="jit", engine_stats=True)
     )
     out: Dict[str, Dict[str, int]] = {}

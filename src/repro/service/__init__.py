@@ -1,0 +1,47 @@
+"""``repro.service`` -- simulation-as-a-service with a persistent result cache.
+
+The farm made execution sharded and fault-tolerant; this subsystem
+makes it *memoized*.  Jobs are content-addressed (the farm's stable
+``Job.key`` digests), so the dominant traffic pattern at scale --
+resubmitting work the system has already done -- never touches a
+worker: it is served from an on-disk, integrity-checked result cache
+that the HTTP gateway, the offline CLI paths (``mips-farm run
+--cache``, ``mips-serve warm``), and the CI gates all share.
+
+Pieces:
+
+- :class:`~repro.service.cache.ResultCache` -- persistent
+  content-addressed store of result stable views with an integrity
+  digest per entry; corrupt entries self-evict with a structured
+  warning and heal by re-execution.
+- :class:`~repro.service.gateway.Gateway` -- stdlib-asyncio HTTP/JSON
+  server: validates and canonicalizes submitted job specs, enforces
+  per-tenant quotas with ``429 + Retry-After``, coalesces concurrent
+  duplicate submissions (single-flight), dispatches misses to the farm
+  :class:`~repro.farm.scheduler.Scheduler`, and streams deterministic
+  JSONL back under write backpressure.
+- :class:`~repro.service.client.ServiceClient` -- blocking stdlib
+  client used by ``mips-serve submit/status/warm`` and the tests.
+
+Entry points: ``mips-serve`` (``serve`` / ``submit`` / ``status`` /
+``warm``) or ``python -m repro.service``.
+"""
+
+from .cache import CacheStats, ResultCache, cacheable, hydrate, integrity_digest
+from .client import ServiceClient, ServiceError, SubmitResult
+from .gateway import DEFAULT_PORT, DEFAULT_QUOTA_JOBS, Gateway, GatewayStats
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_PORT",
+    "DEFAULT_QUOTA_JOBS",
+    "Gateway",
+    "GatewayStats",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "SubmitResult",
+    "cacheable",
+    "hydrate",
+    "integrity_digest",
+]

@@ -1,0 +1,244 @@
+"""Persistent content-addressed result cache.
+
+The farm already mints a stable key for every :class:`~repro.farm.job.Job`
+-- a digest over everything that determines the result and nothing that
+doesn't.  This module turns that key into the address of an on-disk
+record, so a job the farm has ever finished never has to run again:
+``mips-serve``, ``mips-farm run --cache``, ``tools/bench_report.py`` and
+chaos campaigns all read and write the same directory, and a repeated
+corpus sweep is served near-free and byte-identical.
+
+Layout::
+
+    <root>/<kk>/<job-key>.json     # kk = first two hex chars of the key
+
+Each entry stores the record's **stable view** (the run-invariant
+fields -- exactly what the aggregate digest covers) plus an integrity
+digest over that view.  On read the digest is recomputed; any mismatch,
+parse error, or missing field means the entry is *evicted* with a
+structured warning and reported as a miss -- a corrupt cache heals
+itself by re-executing, it never serves bad bytes.
+
+Only deterministic outcomes are cached: clean completions, guest
+faults, and in-machine step-budget timeouts.  Wall-clock timeouts,
+worker crashes, harness errors, and wall-clock benchmark measurements
+are load-dependent and always re-execute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from ..farm.store import stable_view
+
+#: entry schema version; bump to invalidate every existing entry
+CACHE_FORMAT = 1
+
+#: statuses whose records are deterministic and therefore cacheable
+CACHEABLE_STATUSES = ("ok", "fault")
+
+
+def cacheable(record: Mapping[str, Any]) -> bool:
+    """True when a record will be bit-identical if the job reruns.
+
+    Guest-level timeouts (the in-machine step budget raising
+    ``TimeoutError``) are deterministic; wall-clock timeouts and worker
+    crashes are load noise and marked retryable.  Benchmark records
+    carry wall-clock measurements, so they are never cached.
+    """
+    if record.get("retryable"):
+        return False
+    if record.get("kind") == "bench":
+        return False
+    status = record.get("status")
+    if status in CACHEABLE_STATUSES:
+        return True
+    if status == "timeout":
+        return (record.get("error") or {}).get("type") == "TimeoutError"
+    return False
+
+
+def integrity_digest(view: Mapping[str, Any]) -> str:
+    """The digest stored next to (and checked against) a cached view."""
+    payload = json.dumps(view, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def hydrate(view: Mapping[str, Any], index: int = 0) -> Dict[str, Any]:
+    """A cached stable view re-dressed as a live result record.
+
+    The volatile fields a fresh record would carry are restored with
+    cache-hit values, plus ``cached: True`` so consumers can count hits
+    -- all of them excluded from the aggregate digest, so a warm run
+    and a cold run agree byte-for-byte.
+    """
+    record = dict(view)
+    record["index"] = index
+    record["attempt"] = 1
+    record["attempts"] = 1
+    record["wall_s"] = 0.0
+    record["cached"] = True
+    return record
+
+
+@dataclass
+class CacheStats:
+    """Live counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    rejected: int = 0
+    evicted_corrupt: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "rejected": self.rejected,
+            "evicted_corrupt": self.evicted_corrupt,
+        }
+
+
+@dataclass
+class ResultCache:
+    """On-disk result cache addressed by farm job keys."""
+
+    root: str
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- addressing --------------------------------------------------------
+
+    def path_for(self, key: str) -> str:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed job key {key!r}")
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # -- read side ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached stable view for a job key, or None on a miss.
+
+        Any damage -- unparseable JSON, a wrong format version, an
+        integrity mismatch -- evicts the entry and reports a miss.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError) as exc:
+            self._evict_corrupt(key, path, f"unreadable entry: {exc}")
+            return None
+        view = entry.get("record") if isinstance(entry, Mapping) else None
+        if (
+            not isinstance(view, Mapping)
+            or entry.get("format") != CACHE_FORMAT
+            or entry.get("job_key") != key
+        ):
+            self._evict_corrupt(key, path, "malformed entry structure")
+            return None
+        if entry.get("integrity") != integrity_digest(view):
+            self._evict_corrupt(key, path, "integrity digest mismatch")
+            return None
+        self.stats.hits += 1
+        return dict(view)
+
+    def fetch(self, job, index: int = 0) -> Optional[Dict[str, Any]]:
+        """A hydrated record for a job, or None on a miss."""
+        view = self.get(job.key)
+        return None if view is None else hydrate(view, index=index)
+
+    def _evict_corrupt(self, key: str, path: str, detail: str) -> None:
+        self.stats.evicted_corrupt += 1
+        self.stats.misses += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        print(
+            json.dumps(
+                {
+                    "warning": "evicted-corrupt-cache-entry",
+                    "job_key": key,
+                    "path": path,
+                    "detail": detail,
+                },
+                sort_keys=True,
+            ),
+            file=sys.stderr,
+        )
+
+    # -- write side --------------------------------------------------------
+
+    def put(self, record: Mapping[str, Any]) -> bool:
+        """Cache one result record; returns True if it was stored.
+
+        Non-deterministic records are rejected (see :func:`cacheable`).
+        The write is atomic -- a crash mid-``put`` leaves either the old
+        entry or no entry, never a torn one.
+        """
+        if not cacheable(record):
+            self.stats.rejected += 1
+            return False
+        key = record.get("job_key") or record.get("key")
+        if not key:
+            self.stats.rejected += 1
+            return False
+        view = stable_view(record)
+        entry = {
+            "format": CACHE_FORMAT,
+            "job_key": key,
+            "record": view,
+            "integrity": integrity_digest(view),
+        }
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return True
+
+    # -- maintenance -------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json") and not name.startswith("."):
+                    yield name[: -len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def stats_dict(self) -> Dict[str, Any]:
+        summary: Dict[str, Any] = self.stats.to_dict()
+        summary["entries"] = len(self)
+        summary["root"] = self.root
+        return summary

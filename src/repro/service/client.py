@@ -1,0 +1,132 @@
+"""A small stdlib client for the gateway (used by ``mips-serve`` and tests).
+
+Plain ``http.client`` over TCP -- blocking, dependency-free, and happy
+with the gateway's close-delimited JSONL streams: response records are
+yielded as they arrive, so a caller can process a long corpus without
+holding the whole run in memory.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from .gateway import DEFAULT_PORT
+
+
+class ServiceError(Exception):
+    """A non-200 response from the gateway."""
+
+    def __init__(self, status: int, message: str, retry_after: Optional[int] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+@dataclass
+class SubmitResult:
+    """Headers plus the streamed records of one ``/submit`` call."""
+
+    cache_hits: int
+    cache_misses: int
+    coalesced: int
+    records: List[Dict[str, Any]]
+    lines: List[str]
+
+
+class ServiceClient:
+    """One gateway endpoint, one tenant."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        tenant: str = "anon",
+        timeout_s: float = 600.0,
+    ):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, path: str, body: Optional[Mapping[str, Any]] = None):
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        headers = {"X-Tenant": self.tenant}
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+            headers["Content-Length"] = str(len(payload))
+        connection.request(method, path, payload, headers)
+        response = connection.getresponse()
+        if response.status != 200:
+            detail = response.read().decode(errors="replace").strip()
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            retry_after = response.getheader("Retry-After")
+            connection.close()
+            raise ServiceError(
+                response.status,
+                detail,
+                retry_after=int(retry_after) if retry_after else None,
+            )
+        return connection, response
+
+    def _json(self, method: str, path: str, body: Optional[Mapping[str, Any]] = None):
+        connection, response = self._request(method, path, body)
+        try:
+            return json.loads(response.read().decode())
+        finally:
+            connection.close()
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._json("GET", "/stats")
+
+    def result(self, key: str) -> Dict[str, Any]:
+        """The cached stable view for a job key (404 raises ServiceError)."""
+        return self._json("GET", f"/result/{key}")
+
+    def warm(self, workloads: Optional[List[str]] = None, **options) -> Dict[str, Any]:
+        body: Dict[str, Any] = dict(options)
+        if workloads:
+            body["workloads"] = list(workloads)
+        return self._json("POST", "/warm", body)
+
+    def submit_stream(self, job_dicts: List[Mapping[str, Any]]) -> Iterator[str]:
+        """POST jobs, yield raw JSONL body lines as the gateway streams them.
+
+        Header accounting (hits/misses/coalesced) is exposed by
+        :meth:`submit`; this low-level form yields body lines only.
+        """
+        connection, response = self._request("POST", "/submit", {"jobs": list(job_dicts)})
+        try:
+            for raw in response:
+                line = raw.decode().rstrip("\n")
+                if line:
+                    yield line
+        finally:
+            connection.close()
+
+    def submit(self, job_dicts: List[Mapping[str, Any]]) -> SubmitResult:
+        """POST jobs, collect the streamed records and cache accounting."""
+        connection, response = self._request("POST", "/submit", {"jobs": list(job_dicts)})
+        try:
+            lines = [raw.decode().rstrip("\n") for raw in response if raw.strip()]
+        finally:
+            connection.close()
+        return SubmitResult(
+            cache_hits=int(response.getheader("X-Cache-Hits", "0")),
+            cache_misses=int(response.getheader("X-Cache-Misses", "0")),
+            coalesced=int(response.getheader("X-Coalesced", "0")),
+            records=[json.loads(line) for line in lines],
+            lines=lines,
+        )

@@ -1,0 +1,440 @@
+"""The simulation-as-a-service gateway.
+
+A long-running asyncio HTTP/JSON server in front of :mod:`repro.farm`.
+Clients POST farm job specs; the gateway validates and canonicalizes
+them into minted :class:`~repro.farm.job.Job` keys and then serves each
+one by the cheapest available route:
+
+1. **cache hit** -- the persistent :class:`~repro.service.cache.ResultCache`
+   already holds the stable view; no worker is touched.
+2. **coalesced** -- an identical job is already executing for another
+   request (or earlier in this one); the result is shared, not
+   recomputed (single-flight).
+3. **miss** -- dispatched to the existing farm
+   :class:`~repro.farm.scheduler.Scheduler` (which writes the result
+   back into the cache), in a worker thread so the event loop keeps
+   serving.
+
+Results stream back as JSONL in submission order, one *stable view*
+per line -- the run-invariant record fields, serialized canonically --
+so the response bytes are identical whether every line was a hit, a
+miss, or a mix, and identical to what ``mips-farm run
+--stable-results`` writes for the same jobs.
+
+Flow control is explicit at both edges, after McKenney's bounded-queue
+rule (never let an open-ended producer outrun a fixed consumer):
+
+- **admission**: each tenant (the ``X-Tenant`` header) may only have a
+  bounded number of jobs executing or queued; a request that would
+  exceed it is refused whole with ``429 Too Many Requests`` and a
+  ``Retry-After`` header, before any work is registered.
+- **streaming**: response lines are written with a small transport
+  buffer and awaited drains, so a slow reader suspends its own
+  producer coroutine instead of ballooning server memory.
+
+Endpoints::
+
+    GET  /healthz          liveness probe
+    GET  /stats            gateway + cache counters (JSON)
+    GET  /result/<key>     cached stable view for one job key, or 404
+    POST /submit           {"jobs": [job dicts]} -> JSONL stream
+    POST /warm             {"workloads": [...], ...} -> summary JSON
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..farm.job import Job, workload_jobs
+from ..farm.store import aggregate, stable_view
+from .cache import ResultCache
+
+#: default TCP port (no meaning beyond "unassigned and memorable")
+DEFAULT_PORT = 8471
+#: default per-tenant bound on jobs executing or queued
+DEFAULT_QUOTA_JOBS = 64
+#: refuse request bodies carrying more than this many job specs
+DEFAULT_MAX_REQUEST_JOBS = 512
+#: what a 429 tells the client to wait before retrying
+RETRY_AFTER_S = 1
+#: transport write-buffer high-water mark; drains past this block the
+#: producer coroutine until the client catches up (backpressure)
+WRITE_BUFFER_LIMIT = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    """Route an error to one JSON response."""
+
+    def __init__(self, code: int, message: str, headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.code = code
+        self.headers = headers or {}
+
+
+class QuotaExceeded(_HttpError):
+    def __init__(self, tenant: str, pending: int, wanted: int, quota: int):
+        super().__init__(
+            429,
+            f"tenant {tenant!r} quota exhausted: {pending} jobs in flight, "
+            f"{wanted} more requested, quota {quota}",
+            headers={"Retry-After": str(RETRY_AFTER_S)},
+        )
+
+
+@dataclass
+class GatewayStats:
+    """Service-level counters (the ``/stats`` payload)."""
+
+    requests: int = 0
+    submitted: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced: int = 0
+    executed: int = 0
+    rejected_quota: int = 0
+    scheduler_runs: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "submitted": self.submitted,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+            "rejected_quota": self.rejected_quota,
+            "scheduler_runs": self.scheduler_runs,
+        }
+
+
+def stable_line(view: Mapping[str, Any]) -> str:
+    """One streamed JSONL line (canonical, newline-terminated)."""
+    return json.dumps(view, sort_keys=True) + "\n"
+
+
+class Gateway:
+    """One server instance: cache in front, farm scheduler behind."""
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        farm_jobs: int = 1,
+        quota_jobs: int = DEFAULT_QUOTA_JOBS,
+        max_request_jobs: int = DEFAULT_MAX_REQUEST_JOBS,
+        scheduler_factory=None,
+        executor_threads: int = 4,
+    ):
+        self.cache = cache
+        self.host = host
+        self.port = port
+        self.farm_jobs = farm_jobs
+        self.quota_jobs = quota_jobs
+        self.max_request_jobs = max_request_jobs
+        self.stats = GatewayStats()
+        self._scheduler_factory = scheduler_factory or self._default_scheduler
+        self._executor = ThreadPoolExecutor(
+            max_workers=executor_threads, thread_name_prefix="mips-serve"
+        )
+        #: job key -> future resolving to the job's stable view; the
+        #: single-flight registry (one execution per key, many waiters)
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._tenant_pending: Dict[str, int] = {}
+        self._batch_tasks: set = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    def _default_scheduler(self):
+        from ..farm.scheduler import Scheduler
+
+        return Scheduler(jobs=self.farm_jobs, cache=self.cache)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._batch_tasks):
+            task.cancel()
+        self._executor.shutdown(wait=False)
+
+    # -- request plumbing --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        writer.transport.set_write_buffer_limits(high=WRITE_BUFFER_LIMIT)
+        try:
+            try:
+                method, path, headers, body = await self._read_request(reader)
+            except (asyncio.IncompleteReadError, ValueError, ConnectionError):
+                return
+            self.stats.requests += 1
+            try:
+                await self._route(writer, method, path, headers, body)
+            except _HttpError as exc:
+                await self._send_json(
+                    writer, exc.code, {"error": str(exc)}, extra=exc.headers
+                )
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:  # harness bug: report, keep serving
+                print(f"mips-serve: internal error: {exc!r}", file=sys.stderr)
+                await self._send_json(writer, 500, {"error": repr(exc)})
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader) -> Tuple[str, str, Dict[str, str], bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise ConnectionError("client closed before sending a request")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ValueError(f"malformed request line {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    async def _route(self, writer, method: str, path: str, headers, body: bytes) -> None:
+        if path == "/healthz" and method == "GET":
+            await self._send_json(writer, 200, {"ok": True})
+        elif path == "/stats" and method == "GET":
+            await self._send_json(writer, 200, self._stats_payload())
+        elif path.startswith("/result/") and method == "GET":
+            await self._result(writer, path[len("/result/"):])
+        elif path == "/submit" and method == "POST":
+            await self._submit(writer, headers, body)
+        elif path == "/warm" and method == "POST":
+            await self._warm(writer, headers, body)
+        elif path in ("/healthz", "/stats", "/submit", "/warm") or path.startswith("/result/"):
+            raise _HttpError(405, f"{method} not supported on {path}")
+        else:
+            raise _HttpError(404, f"unknown endpoint {path}")
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        return {
+            "gateway": self.stats.to_dict(),
+            "cache": self.cache.stats_dict(),
+            "inflight": len(self._inflight),
+            "tenants": dict(sorted(self._tenant_pending.items())),
+            "quota_jobs": self.quota_jobs,
+        }
+
+    async def _send_json(self, writer, code: int, obj, extra: Optional[Dict[str, str]] = None):
+        payload = (json.dumps(obj, sort_keys=True) + "\n").encode()
+        head = [
+            f"HTTP/1.1 {code} {_REASONS.get(code, 'OK')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        for name, value in (extra or {}).items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + payload)
+        await writer.drain()
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _result(self, writer, key: str) -> None:
+        try:
+            view = self.cache.get(key)
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from exc
+        if view is None:
+            raise _HttpError(404, f"job {key} is not cached")
+        await self._send_json(writer, 200, view)
+
+    def _parse_jobs(self, body: bytes) -> List[Job]:
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}") from exc
+        specs = payload.get("jobs") if isinstance(payload, Mapping) else None
+        if not isinstance(specs, list) or not specs:
+            raise _HttpError(400, 'request body must be {"jobs": [job specs...]}')
+        if len(specs) > self.max_request_jobs:
+            raise _HttpError(
+                400, f"{len(specs)} jobs in one request (limit {self.max_request_jobs})"
+            )
+        jobs = []
+        for position, spec in enumerate(specs):
+            try:
+                jobs.append(Job.from_dict(spec))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise _HttpError(400, f"jobs[{position}] is invalid: {exc}") from exc
+        return jobs
+
+    def _plan(self, tenant: str, jobs: List[Job]):
+        """Admission control + single-flight registration, atomically.
+
+        Runs entirely between awaits, so the probe and the registration
+        cannot race another request.  Returns the per-job serving plan
+        (in submission order) and the hit/miss/coalesce counts; raises
+        :class:`QuotaExceeded` with nothing registered if the tenant's
+        bound would be exceeded.
+        """
+        loop = asyncio.get_running_loop()
+        entries: List[Tuple[str, Any]] = []
+        owned: List[Tuple[Job, asyncio.Future]] = []
+        hits = coalesced = 0
+        for job in jobs:
+            key = job.key
+            view = self.cache.get(key)
+            if view is not None:
+                hits += 1
+                entries.append(("hit", view))
+                continue
+            future = self._inflight.get(key)
+            if future is not None:
+                coalesced += 1
+                entries.append(("wait", future))
+                continue
+            future = loop.create_future()
+            self._inflight[key] = future
+            owned.append((job, future))
+            entries.append(("wait", future))
+        pending = self._tenant_pending.get(tenant, 0)
+        if pending + len(owned) > self.quota_jobs:
+            for job, _future in owned:
+                self._inflight.pop(job.key, None)
+            self.stats.rejected_quota += 1
+            raise QuotaExceeded(tenant, pending, len(owned), self.quota_jobs)
+        self.stats.submitted += len(jobs)
+        self.stats.cache_hits += hits
+        self.stats.cache_misses += len(owned)
+        self.stats.coalesced += coalesced
+        if owned:
+            self._tenant_pending[tenant] = pending + len(owned)
+            self.stats.scheduler_runs += 1
+            task = loop.create_task(self._run_batch(tenant, owned))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+        return entries, {"hits": hits, "misses": len(owned), "coalesced": coalesced}
+
+    async def _run_batch(self, tenant: str, owned: List[Tuple[Job, asyncio.Future]]) -> None:
+        """Execute this request's misses as one farm batch, off-loop."""
+        loop = asyncio.get_running_loop()
+        jobs = [job for job, _future in owned]
+        try:
+            scheduler = self._scheduler_factory()
+            records = await loop.run_in_executor(self._executor, scheduler.run, jobs)
+        except Exception as exc:
+            for job, future in owned:
+                self._inflight.pop(job.key, None)
+                if not future.done():
+                    future.set_exception(exc)
+                else:  # pragma: no cover - future cancelled by a dead client
+                    pass
+            print(f"mips-serve: batch execution failed: {exc!r}", file=sys.stderr)
+        else:
+            for (job, future), record in zip(owned, records):
+                self._inflight.pop(job.key, None)
+                self.stats.executed += 1
+                if not future.done():
+                    future.set_result(stable_view(record))
+        finally:
+            remaining = self._tenant_pending.get(tenant, 0) - len(owned)
+            if remaining > 0:
+                self._tenant_pending[tenant] = remaining
+            else:
+                self._tenant_pending.pop(tenant, None)
+
+    async def _submit(self, writer, headers, body: bytes) -> None:
+        jobs = self._parse_jobs(body)
+        tenant = headers.get("x-tenant", "anon")
+        entries, counts = self._plan(tenant, jobs)
+        head = [
+            "HTTP/1.1 200 OK",
+            "Content-Type: application/x-ndjson",
+            "Connection: close",
+            f"X-Cache-Hits: {counts['hits']}",
+            f"X-Cache-Misses: {counts['misses']}",
+            f"X-Coalesced: {counts['coalesced']}",
+        ]
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode())
+        for kind, item in entries:
+            if kind == "hit":
+                view = item
+            else:
+                # shield: a client hanging up must not cancel the shared
+                # future other waiters (and the cache) depend on
+                view = await asyncio.shield(item)
+            writer.write(stable_line(view).encode())
+            await writer.drain()
+
+    async def _warm(self, writer, headers, body: bytes) -> None:
+        """Pre-populate the cache for named corpus workloads."""
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"request body is not JSON: {exc}") from exc
+        from ..workloads import CORPUS, QUICK_PROGRAMS
+
+        names = payload.get("workloads") or list(QUICK_PROGRAMS)
+        unknown = [n for n in names if n not in CORPUS]
+        if unknown:
+            raise _HttpError(400, f"unknown workloads: {', '.join(unknown)}")
+        jobs = list(
+            workload_jobs(
+                names,
+                hazard_mode=payload.get("hazard_mode", "bare"),
+                opt_level=payload.get("opt_level", "branch-delay"),
+                engine=payload.get("engine", "fast"),
+            )
+        )
+        tenant = headers.get("x-tenant", "anon")
+        entries, counts = self._plan(tenant, jobs)
+        views = []
+        for kind, item in entries:
+            views.append(item if kind == "hit" else await asyncio.shield(item))
+        summary = aggregate(views)
+        await self._send_json(
+            writer,
+            200,
+            {
+                "jobs": len(views),
+                "hits": counts["hits"],
+                "misses": counts["misses"],
+                "coalesced": counts["coalesced"],
+                "by_status": summary["by_status"],
+                "digest": summary["digest"],
+            },
+        )

@@ -253,6 +253,33 @@ class TestResultStore:
         summary = aggregate(records + records)
         assert summary["duplicates"]
 
+    def test_load_tolerates_truncated_trailing_line(self, tmp_path, capsys):
+        # a crashed farm run leaves a partial final line; load must keep
+        # every complete record and warn, not raise
+        path = str(tmp_path / "results.jsonl")
+        with ResultStore(path) as store:
+            records = fast_scheduler(jobs=1, store=store).run(workload_jobs(FAST_WORKLOADS))
+        with open(path, "a") as handle:
+            handle.write('{"status": "ok", "name": "half-writ')  # no newline, cut mid-string
+        loaded = ResultStore.load(path)
+        assert len(loaded) == len(records)
+        assert aggregate(loaded)["digest"] == aggregate(records)["digest"]
+        warning = json.loads(capsys.readouterr().err.strip().splitlines()[-1])
+        assert warning["warning"] == "truncated-result-record"
+        assert warning["path"] == path
+
+    def test_load_still_rejects_midstream_corruption(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        with ResultStore(path) as store:
+            fast_scheduler(jobs=1, store=store).run(workload_jobs(FAST_WORKLOADS))
+        with open(path) as handle:
+            lines = handle.readlines()
+        lines[0] = lines[0][: len(lines[0]) // 2] + "\n"  # damage a non-final record
+        with open(path, "w") as handle:
+            handle.writelines(lines)
+        with pytest.raises(ValueError, match="corrupt result record mid-stream"):
+            ResultStore.load(path)
+
 
 class TestExperimentsThroughFarm:
     CHEAP = ["table5", "figure2", "figure3"]

@@ -45,7 +45,10 @@ Benchmark execution goes through :mod:`repro.farm`: each benchmark is
 one job with a wall-clock budget and transient-failure retries, and
 ``--jobs N`` shards them over worker processes (keep the default of 1
 for timing fidelity on small machines -- concurrent benchmarks steal
-each other's cycles).
+each other's cycles).  The deterministic gates (``cycles``,
+``dispatch``) additionally accept ``--cache DIR``: counters are exact
+per content-addressed job key, so a repeat gate run against a warm
+cache (e.g. one populated by ``mips-serve``) re-simulates nothing.
 
 Usage::
 
@@ -219,13 +222,27 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gate_cache(args):
+    """The persistent result cache for the deterministic gates, if asked.
+
+    Counters and dispatch counts are exact per job key, so a warm cache
+    serves a repeated gate run without re-simulating a single workload
+    -- CI and local pre-commit loops share the directory.
+    """
+    if not getattr(args, "cache", None):
+        return None
+    from repro.service.cache import ResultCache
+
+    return ResultCache(args.cache)
+
+
 PERF_BASELINE = os.path.join(REPO_ROOT, "PERF_BASELINE.json")
 
 
 def cmd_cycles(args: argparse.Namespace) -> int:
     from repro.perf import baseline as perf_baseline
 
-    current = perf_baseline.collect_cycles(jobs=args.jobs)
+    current = perf_baseline.collect_cycles(jobs=args.jobs, cache=_gate_cache(args))
     for name, counters in current.items():
         print(f"  {name}: {counters['cycles']} cycles, {counters['load_stalls']} stalls")
     gate_path = args.gate or PERF_BASELINE
@@ -266,7 +283,7 @@ def cmd_dispatch(args: argparse.Namespace) -> int:
     """
     from repro.perf import baseline as perf_baseline
 
-    current = perf_baseline.collect_dispatch(jobs=args.jobs)
+    current = perf_baseline.collect_dispatch(jobs=args.jobs, cache=_gate_cache(args))
     for name, counters in current.items():
         print(f"  {name}: {counters['dispatches']} dispatches, {counters['ref_steps']} ref steps")
     gate_path = args.gate or DISPATCH_BASELINE
@@ -347,6 +364,12 @@ def main(argv=None) -> int:
         default=1,
         help="farm workers (counters are deterministic; parallelism is free here)",
     )
+    cyc_p.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="persistent result cache: repeat gate runs are served without "
+        "re-simulating (counters are content-addressed by job key)",
+    )
     cyc_p.set_defaults(func=cmd_cycles)
 
     upd_p = sub.add_parser("update-baseline", help="rewrite PERF_BASELINE.json from a fresh run")
@@ -368,6 +391,12 @@ def main(argv=None) -> int:
         type=int,
         default=1,
         help="farm workers (dispatch counts are deterministic; parallelism is free here)",
+    )
+    dis_p.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="persistent result cache: repeat gate runs are served without "
+        "re-simulating (dispatch counts are content-addressed by job key)",
     )
     dis_p.set_defaults(func=cmd_dispatch)
 
