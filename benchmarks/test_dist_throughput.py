@@ -1,0 +1,126 @@
+"""Housekeeping benchmark: distributed-farm scheduling overhead and stealing.
+
+Not a paper result -- it tracks the distributed scheduler itself, on
+the two axes that justify its existence:
+
+- **overhead**: coordinating localhost shard hosts over sockets must
+  cost < 10% wall time versus the in-process worker pool on the same
+  core count.  The protocol work per job (one JSONL dispatch, one JSONL
+  result) is microseconds against simulations that run for tens of
+  milliseconds, so anything above that budget means a scheduling bug,
+  not serialization tax.
+- **stealing**: on a deliberately skewed job mix (every heavy job
+  round-robins onto one host), work stealing must beat static sharding,
+  which by construction leaves one host idle while the other's queue
+  drains serially.
+
+Wall-clock comparisons only hold where the hosts can actually run in
+parallel, so both timing assertions are skipped on single-core runners
+(the digest identity and the steal accounting are asserted regardless
+-- those are load-independent).
+"""
+
+import os
+import time
+
+from repro.farm import Job, Scheduler, aggregate, workload_jobs
+from repro.farm.dist import DistScheduler, LocalShardPool
+from repro.workloads import QUICK_PROGRAMS
+
+#: tolerated distributed-scheduling overhead vs the in-process pool
+OVERHEAD_BUDGET = 0.10
+
+
+def spin_job(name: str, iters: int) -> Job:
+    source = (
+        f"program {name}; var i, s: integer; "
+        f"begin s := 0; for i := 1 to {iters} do s := s + i; writeln(s) end."
+    )
+    return Job(kind="source", name=name, spec={"source": source})
+
+
+def _skewed_jobs():
+    """Heavy jobs on even indices: static round-robin piles them on host 0."""
+    jobs = []
+    for i in range(6):
+        if i % 2 == 0:
+            jobs.append(spin_job(f"heavy{i}", 400_000 + i))
+        else:
+            jobs.append(spin_job(f"light{i}", 200 + i))
+    return jobs
+
+
+def test_dist_scheduling_overhead_under_budget():
+    cores = os.cpu_count() or 1
+    workers = min(4, cores)
+    jobs = list(workload_jobs(QUICK_PROGRAMS))
+
+    pool_sched = Scheduler(jobs=workers, backoff_base_s=0.01, backoff_cap_s=0.1)
+    start = time.perf_counter()
+    pool_records = pool_sched.run(jobs)
+    pool_s = time.perf_counter() - start
+
+    with LocalShardPool(1, workers_per_host=workers) as hosts:
+        dist_sched = DistScheduler(
+            hosts=hosts.specs, backoff_base_s=0.01, backoff_cap_s=0.1
+        )
+        start = time.perf_counter()
+        dist_records = dist_sched.run(jobs)
+        dist_s = time.perf_counter() - start
+
+    # wherever the jobs ran, the aggregate digest is the same bytes
+    assert aggregate(dist_records)["digest"] == aggregate(pool_records)["digest"]
+
+    overhead = dist_s / pool_s - 1.0
+    print(
+        f"\ndist: in-process pool ({workers} workers) {pool_s:.2f}s, "
+        f"1 shard host x {workers} workers {dist_s:.2f}s "
+        f"({overhead:+.1%} overhead) on {cores} cores"
+    )
+    if cores >= 2:
+        assert overhead < OVERHEAD_BUDGET, (
+            f"distributed scheduling overhead {overhead:.1%} exceeds "
+            f"{OVERHEAD_BUDGET:.0%}: pool {pool_s:.2f}s vs dist {dist_s:.2f}s"
+        )
+
+
+def test_stealing_beats_static_sharding_on_a_skewed_mix():
+    cores = os.cpu_count() or 1
+    jobs = _skewed_jobs()
+
+    def timed(steal: bool):
+        with LocalShardPool(2, workers_per_host=1) as hosts:
+            scheduler = DistScheduler(
+                hosts=hosts.specs,
+                steal=steal,
+                backoff_base_s=0.01,
+                backoff_cap_s=0.1,
+            )
+            start = time.perf_counter()
+            report = scheduler.run_report(jobs)
+            return time.perf_counter() - start, report
+
+    static_s, static_report = timed(steal=False)
+    steal_s, steal_report = timed(steal=True)
+
+    # identical results either way; stealing only moves work
+    assert (
+        aggregate(steal_report.records)["digest"]
+        == aggregate(static_report.records)["digest"]
+    )
+    assert static_report.stolen == 0
+    assert steal_report.stolen >= 1, (
+        "the idle host never stole from the loaded one on a mix built "
+        "to force it"
+    )
+
+    print(
+        f"\ndist: static sharding {static_s:.2f}s, "
+        f"stealing {steal_s:.2f}s ({static_s / steal_s:.2f}x, "
+        f"{steal_report.stolen} stolen) on {cores} cores"
+    )
+    if cores >= 2:
+        assert steal_s < static_s, (
+            f"stealing ({steal_s:.2f}s) should beat static sharding "
+            f"({static_s:.2f}s) when one host holds every heavy job"
+        )

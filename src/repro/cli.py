@@ -6,7 +6,8 @@
 ``mips-reorg file.s``     reorganize a piece stream at every level
 ``mipsc file.pas``        compile mini-Pascal and run it
 ``mips-experiments``      run the paper's tables and figures (``--jobs N``)
-``mips-farm``             batch simulation service: ``run`` / ``status``
+``mips-farm``             batch simulation service: ``run`` / ``status`` /
+                          ``host`` (distributed shard host)
 ``mips-chaos``            fault-injection campaigns: ``run`` / ``list``
 ``mips-serve``            gateway + result cache: ``serve`` / ``submit`` /
                           ``status`` / ``warm``
@@ -347,11 +348,79 @@ def farm_main(argv=None) -> int:
         help="persistent result cache: serve content-addressed hits without "
         "executing, store completed deterministic results back",
     )
+    run_p.add_argument(
+        "--hosts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="distributed mode: spawn N localhost shard hosts and run the "
+        "batch across them (aggregate digest is identical at any N)",
+    )
+    run_p.add_argument(
+        "--host",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        dest="host_specs",
+        help="distributed mode: connect to an already-running shard host at "
+        "HOST:PORT (repeatable; ':PORT' means localhost); combinable with "
+        "--hosts",
+    )
+    run_p.add_argument(
+        "--host-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per --hosts-spawned shard host "
+        "(default: cpu count / hosts)",
+    )
+    run_p.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="distributed mode: disable work stealing (static round-robin "
+        "sharding only; results are identical, load balance is not)",
+    )
+    run_p.add_argument(
+        "--kill-host-after",
+        type=int,
+        default=None,
+        metavar="J",
+        help="fault injection: SIGKILL the first --hosts-spawned shard host "
+        "once J results are in, to exercise dead-host reclamation "
+        "(CI asserts the digest survives this)",
+    )
 
     status_p = sub.add_parser("status", help="summarize a results file")
     status_p.add_argument("results", help="JSON-lines file written by `mips-farm run`")
 
+    host_p = sub.add_parser(
+        "host", help="run a distributed shard host (a `mips-farm run --host` target)"
+    )
+    host_p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to listen on (default: OS-assigned, announced on stdout)",
+    )
+    host_p.add_argument("--bind", default="127.0.0.1", help="address to bind")
+    host_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="local forked worker processes (default: cpu count)",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "host":
+        from .farm.dist.host import main as host_main
+
+        host_argv = ["--port", str(args.port), "--bind", args.bind]
+        if args.workers is not None:
+            host_argv += ["--workers", str(args.workers)]
+        return host_main(host_argv)
+
     from .farm import ResultStore, Scheduler, aggregate, render_summary
 
     if args.command == "status":
@@ -371,11 +440,41 @@ def farm_main(argv=None) -> int:
         from .service.cache import ResultCache
 
         kwargs["cache"] = ResultCache(args.cache)
+    if args.kill_host_after is not None and not args.hosts:
+        parser.error("--kill-host-after needs --hosts (it kills a spawned host)")
+
     store = ResultStore(args.results) if args.results else None
+    pool = None
     try:
-        scheduler = Scheduler(jobs=args.jobs, store=store, **kwargs)
+        if args.hosts or args.host_specs:
+            from .farm.dist import DistScheduler, LocalShardPool
+
+            specs = list(args.host_specs)
+            if args.hosts:
+                pool = LocalShardPool(args.hosts, workers_per_host=args.host_workers)
+                specs = pool.specs + specs
+            on_progress = None
+            if args.kill_host_after is not None:
+                victim_pool, threshold, killed = pool, args.kill_host_after, []
+
+                def on_progress(done: int) -> None:
+                    if done >= threshold and not killed:
+                        killed.append(True)
+                        victim_pool.kill(0)
+
+            scheduler = DistScheduler(
+                hosts=specs,
+                store=store,
+                steal=not args.no_steal,
+                on_progress=on_progress,
+                **kwargs,
+            )
+        else:
+            scheduler = Scheduler(jobs=args.jobs, store=store, **kwargs)
         report = scheduler.run_report(job_list)
     finally:
+        if pool is not None:
+            pool.close()
         if store is not None:
             store.close()
     if args.stable_results:
@@ -391,16 +490,32 @@ def farm_main(argv=None) -> int:
             line += f"  {record['error'].get('type', '')}: {record['error'].get('message', '')}"
         print(line)
     summary = aggregate(report.records)
-    mode = "serial (in-process)" if report.degraded_serial else f"{args.jobs} workers"
+    if report.hosts:
+        mode = f"{len(report.hosts)} shard host(s)"
+        if report.degraded_serial:
+            mode += " + serial tail"
+    elif report.degraded_serial:
+        mode = "serial (in-process)"
+    else:
+        mode = f"{args.jobs} workers"
     print()
     farm_line = (
         f"farm: {report.submitted} jobs via {mode}, "
         f"{report.retries} retries, {report.crashes} crashes, "
         f"{report.timeouts} timeouts, {report.wall_s:.2f}s wall"
     )
+    if report.hosts:
+        farm_line += f", {report.stolen} stolen, {report.reclaimed} reclaimed"
     if args.cache:
         farm_line += f", {report.cache_hits} cache hits / {report.cache_misses} misses"
     print(farm_line)
+    for host_id, acct in sorted(report.hosts.items()):
+        state = "" if acct["alive"] else " LOST"
+        print(
+            f"  shard {host_id}: workers={acct['workers']} jobs={acct['jobs']} "
+            f"stolen={acct['stolen']} reclaimed={acct['reclaimed']} "
+            f"retries={acct['retries']}{state}"
+        )
     print(render_summary(summary))
     return 0 if summary["by_status"].get("ok", 0) == summary["jobs"] else 1
 
@@ -527,6 +642,15 @@ def serve_main(argv=None) -> int:
         help="per-tenant bound on jobs executing or queued (default 64); "
         "a request pushing past it gets 429 + Retry-After",
     )
+    serve_p.add_argument(
+        "--shard",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="front the distributed farm: run batches on the shard host at "
+        "HOST:PORT instead of the local pool (repeatable; start hosts "
+        "with `mips-farm host`)",
+    )
 
     submit_p = sub.add_parser(
         "submit", help="submit a batch, stream stable-view JSONL to stdout"
@@ -566,14 +690,20 @@ def serve_main(argv=None) -> int:
             port=port,
             farm_jobs=args.jobs,
             quota_jobs=args.quota if args.quota is not None else DEFAULT_QUOTA_JOBS,
+            shard_hosts=args.shard,
         )
 
         async def _serve() -> None:
             await gateway.start()
+            backend = (
+                f"shards {', '.join(gateway.shard_hosts)}"
+                if gateway.shard_hosts
+                else f"{gateway.farm_jobs} local worker(s)"
+            )
             print(
                 f"mips-serve: listening on http://{gateway.host}:{gateway.port} "
                 f"(cache {args.cache}: {len(cache)} entries, "
-                f"quota {gateway.quota_jobs} jobs/tenant)",
+                f"quota {gateway.quota_jobs} jobs/tenant, {backend})",
                 flush=True,
             )
             await gateway.serve_forever()

@@ -1,0 +1,56 @@
+"""The distributed farm: the single-box worker pool, spread over hosts.
+
+Three layers, mirroring the single-box farm's shape:
+
+- :mod:`~repro.farm.dist.protocol` -- the JSONL-over-TCP wire format
+  and the version/digest handshake that keeps cross-host results
+  comparable at all.
+- :mod:`~repro.farm.dist.host` -- the shard host (``mips-farm host``):
+  a passive server wrapping the existing forked worker pool.
+- :mod:`~repro.farm.dist.coordinator` -- :class:`DistScheduler`, the
+  policy end: static round-robin sharding, coordinator-mediated work
+  stealing, heartbeat-driven dead-host reclamation, and serial
+  degradation when every remote host is gone.
+
+The invariant the whole package is built around: ``mips-farm run
+--hosts N`` produces the byte-identical order-independent aggregate
+digest for any N -- including runs where hosts are killed mid-batch.
+"""
+
+from .coordinator import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_HEARTBEAT_TIMEOUT_S,
+    DistScheduler,
+    HeartbeatMonitor,
+    LocalShardPool,
+    dist_run_report,
+)
+from .host import ShardHost
+from .protocol import (
+    DIGEST_ALGORITHM,
+    PROTO_VERSION,
+    ConnectionLost,
+    HandshakeError,
+    JsonlConnection,
+    hello_banner,
+    parse_host_spec,
+    validate_banner,
+)
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_HEARTBEAT_TIMEOUT_S",
+    "DIGEST_ALGORITHM",
+    "PROTO_VERSION",
+    "ConnectionLost",
+    "DistScheduler",
+    "HandshakeError",
+    "HeartbeatMonitor",
+    "JsonlConnection",
+    "LocalShardPool",
+    "ShardHost",
+    "dist_run_report",
+    "hello_banner",
+    "parse_host_spec",
+    "validate_banner",
+]

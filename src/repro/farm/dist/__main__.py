@@ -1,0 +1,8 @@
+"""``python -m repro.farm.dist`` starts a shard host."""
+
+import sys
+
+from .host import main
+
+if __name__ == "__main__":
+    sys.exit(main())

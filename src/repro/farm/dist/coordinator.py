@@ -1,0 +1,587 @@
+"""The distributed-farm coordinator: shard over hosts, steal, reclaim.
+
+:class:`DistScheduler` generalizes the single-box
+:class:`~repro.farm.scheduler.Scheduler` across shard hosts
+(:mod:`repro.farm.dist.host`) reached over the JSONL socket protocol
+(:mod:`repro.farm.dist.protocol`).  The policy follows the same
+measure-then-spend argument the paper makes for instruction budgets:
+capacity is added (a host), moved (a steal), or written off (a
+reclamation) only when the accounting says the work is actually there.
+
+- **Static sharding first**: the batch is dealt round-robin across the
+  connected hosts in submission order, each host queueing what its
+  local worker pool cannot start yet.  Every dispatch carries a fresh
+  ``seq``, so a stale message can never be mistaken for a live attempt.
+- **Work stealing fixes imbalance**: when a host has spare worker
+  slots while another still has *unstarted* queue, the coordinator
+  asks the loaded host to give jobs back (the host only ever yields
+  jobs it has not begun -- stealing can never double-execute) and
+  re-deals them to the spare capacity.
+- **Heartbeats detect death**: hosts that fall silent past the timeout
+  -- and hosts whose sockets EOF -- are declared lost, and every job
+  assigned to them is *reclaimed*: re-queued through the existing
+  crash/retry/backoff machinery exactly as if a local worker had died.
+  A reclaimed job re-executes elsewhere; the original result (if the
+  dead host ever finishes it) is unreachable on a closed socket, so no
+  job is lost and none is duplicated.
+- **Serial degradation last**: with every remote host gone, whatever
+  remains runs in-process through the identical per-job executor --
+  the same guarantee the single-box farm makes when forking is
+  unavailable.
+
+Because records are finalized through the same stable-view machinery,
+the order-independent aggregate digest is byte-identical for any host
+count, including runs where hosts die mid-batch -- the cross-host
+correctness oracle CI's dist-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..job import Job
+from ..scheduler import (
+    DEFAULT_BACKOFF_BASE_S,
+    DEFAULT_BACKOFF_CAP_S,
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_TIMEOUT_S,
+    FarmReport,
+    Scheduler,
+    _Pending,
+)
+from ..worker import crash_record, execute_job
+from .protocol import (
+    ConnectionLost,
+    HandshakeError,
+    JsonlConnection,
+    parse_host_spec,
+    validate_banner,
+)
+
+#: default heartbeat cadence and silence budget
+DEFAULT_HEARTBEAT_S = 1.0
+DEFAULT_HEARTBEAT_TIMEOUT_S = 10.0
+#: readiness-loop tick
+POLL_S = 0.2
+#: connect() budget per host spec
+CONNECT_TIMEOUT_S = 5.0
+
+#: the host tag finalized records carry when the coordinator itself
+#: executed them (serial degradation)
+LOCAL_HOST_TAG = "local"
+
+
+class HeartbeatMonitor:
+    """Who needs a ping, and who has been silent too long.
+
+    Pure bookkeeping over an injectable clock, so the dead-host policy
+    is unit-testable without sockets or sleeps: ``heard`` on any
+    traffic, ``due`` lists hosts whose last ping is older than the
+    interval, ``expired`` lists hosts silent past the timeout.
+    """
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_HEARTBEAT_S,
+        timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.interval_s = interval_s
+        self.timeout_s = timeout_s
+        self.clock = clock
+        self._last_heard: Dict[str, float] = {}
+        self._last_ping: Dict[str, float] = {}
+
+    def register(self, key: str) -> None:
+        now = self.clock()
+        self._last_heard[key] = now
+        self._last_ping[key] = now
+
+    def forget(self, key: str) -> None:
+        self._last_heard.pop(key, None)
+        self._last_ping.pop(key, None)
+
+    def heard(self, key: str) -> None:
+        self._last_heard[key] = self.clock()
+
+    def pinged(self, key: str) -> None:
+        self._last_ping[key] = self.clock()
+
+    def due(self) -> List[str]:
+        now = self.clock()
+        return [k for k, t in self._last_ping.items() if now - t >= self.interval_s]
+
+    def expired(self) -> List[str]:
+        now = self.clock()
+        return [k for k, t in self._last_heard.items() if now - t > self.timeout_s]
+
+    def silent_for(self, key: str) -> float:
+        return self.clock() - self._last_heard[key]
+
+
+@dataclass
+class _HostLink:
+    """One connected shard host, as the coordinator sees it."""
+
+    spec: str
+    conn: JsonlConnection
+    host_id: str
+    workers: int
+    alive: bool = True
+    steal_pending: bool = False
+    #: seq -> the pending job dispatched there
+    assigned: Dict[int, _Pending] = field(default_factory=dict)
+    stats: Dict[str, int] = field(
+        default_factory=lambda: {"jobs": 0, "stolen": 0, "reclaimed": 0, "retries": 0}
+    )
+
+    @property
+    def backlog(self) -> int:
+        """Dispatched jobs beyond this host's worker capacity (queued)."""
+        return max(0, len(self.assigned) - self.workers)
+
+    @property
+    def spare(self) -> int:
+        return max(0, self.workers - len(self.assigned))
+
+
+def _warn(payload: Dict[str, Any]) -> None:
+    print(json.dumps(payload, sort_keys=True), file=sys.stderr)
+
+
+class DistScheduler(Scheduler):
+    """Batch executor over remote shard hosts (plus serial last resort).
+
+    Drop-in for :class:`~repro.farm.scheduler.Scheduler`: same
+    ``run``/``run_report`` surface, same store/cache plumbing, same
+    deadline/retry/backoff knobs -- only the workers live behind
+    ``host:port`` specs instead of fork().
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        store=None,
+        cache=None,
+        steal: bool = True,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        connect_timeout_s: float = CONNECT_TIMEOUT_S,
+        clock: Callable[[], float] = time.monotonic,
+        on_progress: Optional[Callable[[int], None]] = None,
+    ):
+        super().__init__(
+            jobs=max(1, len(list(hosts))),
+            timeout_s=timeout_s,
+            max_attempts=max_attempts,
+            backoff_base_s=backoff_base_s,
+            backoff_cap_s=backoff_cap_s,
+            store=store,
+            serial=False,
+            cache=cache,
+        )
+        self.hosts = [str(h) for h in hosts]
+        self.steal = steal
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.clock = clock
+        #: called with len(results) after every finalized record --
+        #: the hook the fault-injection CLI uses to kill a host mid-batch
+        self.on_progress = on_progress
+
+    # -- connecting --------------------------------------------------------
+
+    def _connect_hosts(self) -> List[_HostLink]:
+        """Dial every spec; banner-validate; drop (never hang on) misfits."""
+        links: List[_HostLink] = []
+        for spec in self.hosts:
+            link = self._connect_one(spec)
+            if link is not None:
+                links.append(link)
+        return links
+
+    def _connect_one(self, spec: str) -> Optional[_HostLink]:
+        try:
+            address = parse_host_spec(spec)
+        except ValueError as exc:
+            _warn({"warning": "shard-host-rejected", "spec": spec, "reason": str(exc)})
+            return None
+        try:
+            sock = socket.create_connection(address, timeout=self.connect_timeout_s)
+            sock.settimeout(None)
+        except OSError as exc:
+            _warn({"warning": "shard-host-unreachable", "spec": spec, "reason": str(exc)})
+            return None
+        conn = JsonlConnection(sock)
+        try:
+            banner = conn.receive(self.connect_timeout_s)
+        except (HandshakeError, ConnectionLost, ValueError) as exc:
+            _warn({"warning": "shard-host-rejected", "spec": spec, "reason": str(exc)})
+            conn.close()
+            return None
+        reason = validate_banner(banner)
+        if reason is not None:
+            # a structured refusal, not a hang: tell the host why, close,
+            # and report the mismatch machine-readably
+            try:
+                conn.send({"type": "error", "reason": reason})
+            except ConnectionLost:
+                pass
+            conn.close()
+            _warn(
+                {
+                    "warning": "shard-host-rejected",
+                    "spec": spec,
+                    "reason": reason,
+                    "banner": {k: banner.get(k) for k in ("proto", "repo", "digest")},
+                }
+            )
+            return None
+        try:
+            conn.send({"type": "hello_ack"})
+        except ConnectionLost as exc:
+            _warn({"warning": "shard-host-unreachable", "spec": spec, "reason": str(exc)})
+            conn.close()
+            return None
+        return _HostLink(
+            spec=spec,
+            conn=conn,
+            host_id=str(banner.get("host_id") or spec),
+            workers=max(1, int(banner.get("workers") or 1)),
+        )
+
+    # -- the distributed loop ----------------------------------------------
+
+    def _run_pool(self, items, results, report: FarmReport) -> None:
+        from multiprocessing.connection import wait as conn_wait
+
+        links = self._connect_hosts()
+        monitor = HeartbeatMonitor(self.heartbeat_s, self.heartbeat_timeout_s, self.clock)
+        for link in links:
+            monitor.register(link.host_id)
+
+        pending: deque = deque(_Pending(i, job) for i, job in items)
+        inflight: Dict[int, _HostLink] = {}
+        target = len(results) + len(items)
+        next_seq = 0
+
+        def live() -> List[_HostLink]:
+            return [l for l in links if l.alive]
+
+        def dispatch(link: _HostLink, item: _Pending) -> bool:
+            nonlocal next_seq
+            seq = next_seq
+            next_seq += 1
+            try:
+                link.conn.send(
+                    {
+                        "type": "dispatch",
+                        "seq": seq,
+                        "index": item.index,
+                        "attempt": item.attempt,
+                        "job": item.job.to_dict(),
+                        "budget_s": self._budget(item.job),
+                    }
+                )
+            except ConnectionLost as exc:
+                lose(link, f"send failed: {exc}")
+                return False
+            link.assigned[seq] = item
+            inflight[seq] = link
+            return True
+
+        def finalize(item: _Pending, record: Dict[str, Any], link: Optional[_HostLink]) -> None:
+            cap = self._attempt_cap(item.job)
+            if record.get("retryable") and item.attempt < cap:
+                report.retries += 1
+                if link is not None:
+                    link.stats["retries"] += 1
+                pending.append(
+                    _Pending(
+                        item.index,
+                        item.job,
+                        item.attempt + 1,
+                        self.clock() + self._backoff(item.attempt),
+                    )
+                )
+                return
+            self._finalize(results, item, record)
+            if link is not None:
+                link.stats["jobs"] += 1
+            if self.on_progress is not None:
+                self.on_progress(len(results))
+
+        def lose(link: _HostLink, reason: str) -> None:
+            """Declare a host dead and reclaim everything assigned to it."""
+            if not link.alive:
+                return
+            link.alive = False
+            monitor.forget(link.host_id)
+            link.conn.close()
+            reclaimed = list(link.assigned.items())
+            link.assigned = {}
+            for seq, item in reclaimed:
+                inflight.pop(seq, None)
+                report.reclaimed += 1
+                link.stats["reclaimed"] += 1
+                record = crash_record(
+                    item.job.to_dict(),
+                    item.attempt,
+                    f"shard host {link.host_id} lost: {reason}",
+                )
+                record["host"] = link.host_id
+                finalize(item, record, link)
+            _warn(
+                {
+                    "warning": "shard-host-lost",
+                    "host": link.host_id,
+                    "reason": reason,
+                    "reclaimed": len(reclaimed),
+                }
+            )
+
+        def handle(link: _HostLink, message: Dict[str, Any]) -> None:
+            monitor.heard(link.host_id)
+            kind = message.get("type")
+            if kind == "result":
+                seq = int(message["seq"])
+                item = link.assigned.pop(seq, None)
+                inflight.pop(seq, None)
+                if item is None:
+                    return  # raced a steal/reclaim; the live attempt owns it
+                record = dict(message["record"])
+                record["host"] = link.host_id
+                finalize(item, record, link)
+            elif kind == "stolen":
+                link.steal_pending = False
+                for seq in message.get("seqs", []):
+                    item = link.assigned.pop(int(seq), None)
+                    inflight.pop(int(seq), None)
+                    if item is None:
+                        continue  # completed just before the host gave it up
+                    report.stolen += 1
+                    link.stats["stolen"] += 1
+                    pending.appendleft(_Pending(item.index, item.job, item.attempt))
+            # pong and unknown types only refresh the heartbeat
+
+        # deal the batch round-robin across hosts: static sharding, the
+        # baseline that stealing then improves on
+        if live():
+            hosts_now = live()
+            position = 0
+            while pending:
+                item = pending.popleft()
+                if not dispatch(hosts_now[position % len(hosts_now)], item):
+                    pending.appendleft(item)
+                    hosts_now = live()
+                    if not hosts_now:
+                        break
+                    continue
+                position += 1
+
+        while len(results) < target:
+            hosts_now = live()
+            if not hosts_now:
+                # every remote host is gone: reclaim already re-queued
+                # the in-flight jobs, so what's left runs in-process
+                self._run_serial_tail(pending, results, report)
+                break
+            now = self.clock()
+
+            # re-dispatch anything whose backoff has expired, onto the
+            # least-loaded live host (idle thieves included)
+            for item in [p for p in pending if p.ready_at <= now]:
+                pending.remove(item)
+                best = min(hosts_now, key=lambda l: len(l.assigned) / l.workers)
+                if not dispatch(best, item):
+                    pending.appendleft(item)
+                    break
+
+            # steal: spare capacity here + unstarted backlog there
+            if self.steal:
+                spare = sum(l.spare for l in hosts_now)
+                victims = [l for l in hosts_now if l.backlog > 0 and not l.steal_pending]
+                if spare > 0 and victims:
+                    victim = max(victims, key=lambda l: l.backlog)
+                    try:
+                        victim.conn.send(
+                            {"type": "steal", "count": min(victim.backlog, spare)}
+                        )
+                        victim.steal_pending = True
+                    except ConnectionLost as exc:
+                        lose(victim, f"send failed: {exc}")
+
+            # heartbeats out, deaths in
+            for link in live():
+                if link.host_id in monitor.due():
+                    try:
+                        link.conn.send({"type": "ping"})
+                        monitor.pinged(link.host_id)
+                    except ConnectionLost as exc:
+                        lose(link, f"send failed: {exc}")
+            for link in live():
+                if link.host_id in monitor.expired():
+                    lose(
+                        link,
+                        f"no heartbeat for {monitor.silent_for(link.host_id):.1f}s "
+                        f"(timeout {self.heartbeat_timeout_s:.1f}s)",
+                    )
+
+            sockets = [l.conn.sock for l in live()]
+            if not sockets:
+                continue
+            readable = conn_wait(sockets, timeout=POLL_S)
+            for link in [l for l in live() if l.conn.sock in readable]:
+                try:
+                    messages = link.conn.drain()
+                except ConnectionLost as exc:
+                    lose(link, str(exc))
+                    continue
+                for message in messages:
+                    handle(link, message)
+
+        # session teardown: a polite stop to every surviving host
+        for link in live():
+            try:
+                link.conn.send({"type": "stop"})
+            except ConnectionLost:
+                pass
+            link.conn.close()
+
+        report.hosts = {
+            link.host_id: {"workers": link.workers, "alive": link.alive, **link.stats}
+            for link in links
+        }
+
+    # -- serial last resort ------------------------------------------------
+
+    def _run_serial_tail(self, pending: deque, results, report: FarmReport) -> None:
+        """Run whatever is left in-process (every remote host is lost)."""
+        if pending:
+            _warn(
+                {
+                    "warning": "all-shard-hosts-lost",
+                    "remaining_jobs": len(pending),
+                    "action": "degrading to in-process serial execution",
+                }
+            )
+        report.degraded_serial = True
+        for item in sorted(pending, key=lambda p: p.index):
+            cap = self._attempt_cap(item.job)
+            attempt = item.attempt
+            while True:
+                record = execute_job(item.job.to_dict(), attempt=attempt, in_process=True)
+                if record.get("retryable") and attempt < cap:
+                    report.retries += 1
+                    time.sleep(self._backoff(attempt))
+                    attempt += 1
+                    continue
+                record["host"] = LOCAL_HOST_TAG
+                self._finalize(results, _Pending(item.index, item.job, attempt), record)
+                if self.on_progress is not None:
+                    self.on_progress(len(results))
+                break
+        pending.clear()
+
+
+# -- spawning localhost shard pools (mips-farm run --hosts N) --------------
+
+_ANNOUNCE_RE = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+class LocalShardPool:
+    """N shard hosts as local subprocesses, for ``--hosts N`` and tests.
+
+    Each host is a fresh interpreter running
+    ``python -m repro.farm.dist.host --port 0``; the OS-assigned port is
+    parsed from the announce line.  ``kill`` delivers SIGKILL -- the
+    fault-injection path the reclamation tests drive.
+    """
+
+    def __init__(self, hosts: int, workers_per_host: Optional[int] = None):
+        if hosts < 1:
+            raise ValueError("hosts must be >= 1")
+        workers = workers_per_host or max(1, (os.cpu_count() or 1) // hosts)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        self.processes: List[subprocess.Popen] = []
+        self.specs: List[str] = []
+        try:
+            for _ in range(hosts):
+                process = subprocess.Popen(
+                    [sys.executable, "-m", "repro.farm.dist.host",
+                     "--port", "0", "--workers", str(workers)],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    env=env,
+                    text=True,
+                )
+                self.processes.append(process)
+                announce = process.stdout.readline()
+                match = _ANNOUNCE_RE.search(announce or "")
+                if match is None:
+                    raise RuntimeError(
+                        f"shard host failed to start (pid {process.pid}): {announce!r}"
+                    )
+                self.specs.append(f"{match.group(1)}:{match.group(2)}")
+        except Exception:
+            self.close()
+            raise
+
+    def kill(self, position: int) -> None:
+        """SIGKILL one host -- no goodbye, no flush; reclamation's job."""
+        process = self.processes[position]
+        if process.poll() is None:
+            process.send_signal(signal.SIGKILL)
+            process.wait(5.0)
+
+    def close(self) -> None:
+        for process in self.processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in self.processes:
+            if process.poll() is None:
+                try:
+                    process.wait(2.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    process.kill()
+                    process.wait(2.0)
+            if process.stdout is not None:
+                process.stdout.close()
+
+    def __enter__(self) -> "LocalShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def dist_run_report(
+    job_list: Sequence[Job],
+    hosts: Sequence[str],
+    **kwargs,
+) -> Tuple[FarmReport, Dict[str, Any]]:
+    """One-shot convenience: run jobs over shard hosts, report + summary."""
+    from ..store import aggregate
+
+    report = DistScheduler(hosts=list(hosts), **kwargs).run_report(job_list)
+    return report, aggregate(report.records)

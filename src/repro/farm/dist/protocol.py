@@ -1,0 +1,173 @@
+"""The shard-host wire protocol: JSONL over stdlib TCP sockets.
+
+One JSON object per newline-terminated line, in both directions -- the
+same framing the :class:`~repro.farm.store.ResultStore` already streams
+to disk, so a result record costs one ``json.dumps`` whether it lands
+in a file or on a socket.
+
+**Handshake.** The shard host speaks first: immediately on accept it
+sends a *hello banner* naming its protocol version, the repo version it
+is running, and the tag of the digest algorithm its records will be
+aggregated under.  The coordinator validates all three and answers
+``hello_ack`` -- or a structured ``error`` message followed by a close.
+A mismatched host is therefore rejected in one round trip with a
+machine-readable reason, never left hanging half-connected: digests
+from two hosts are only comparable if both sides agree on what a
+stable view is, and the banner is where that agreement is checked.
+
+**Session messages** (after the handshake):
+
+==============  =========================================================
+coordinator →   ``dispatch`` (seq, index, attempt, job, budget_s),
+                ``steal`` (count), ``ping``, ``stop``
+host →          ``result`` (seq, record), ``stolen`` (seqs),
+                ``pong`` (queued, running)
+==============  =========================================================
+
+``seq`` numbers are minted per dispatch, not per job: a job that is
+stolen or reclaimed is re-dispatched under a fresh seq, so a stale
+message from a slow host can never be confused with the live attempt.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+from ... import __version__ as REPO_VERSION
+
+#: bumped on any incompatible wire change
+PROTO_VERSION = 1
+#: names the aggregate-digest algorithm both sides must share: sha256
+#: over the canonical JSON of record stable views (see repro.farm.store)
+DIGEST_ALGORITHM = "sha256/stable-view-v1"
+#: how long either side waits for the other half of the handshake
+HANDSHAKE_TIMEOUT_S = 5.0
+#: one socket read's worth of stream
+_RECV_CHUNK = 1 << 16
+
+
+class ConnectionLost(Exception):
+    """The peer closed or reset the socket mid-session."""
+
+
+class HandshakeError(Exception):
+    """The peer's banner failed validation (carries the reason)."""
+
+
+def hello_banner(workers: int, host_id: str) -> Dict[str, Any]:
+    """The banner a shard host sends immediately on accept."""
+    return {
+        "type": "hello",
+        "proto": PROTO_VERSION,
+        "repo": REPO_VERSION,
+        "digest": DIGEST_ALGORITHM,
+        "workers": workers,
+        "host_id": host_id,
+    }
+
+
+def validate_banner(message: Mapping[str, Any]) -> Optional[str]:
+    """None if the banner is acceptable, else a human-readable reason.
+
+    Every field that could silently skew results is checked: protocol
+    (framing), repo version (job semantics), digest algorithm (what
+    byte-identity even means across hosts).
+    """
+    if message.get("type") != "hello":
+        return f"expected a hello banner, got {message.get('type')!r}"
+    if message.get("proto") != PROTO_VERSION:
+        return f"protocol version mismatch: host speaks {message.get('proto')!r}, coordinator speaks {PROTO_VERSION}"
+    if message.get("repo") != REPO_VERSION:
+        return f"repo version mismatch: host runs {message.get('repo')!r}, coordinator runs {REPO_VERSION!r}"
+    if message.get("digest") != DIGEST_ALGORITHM:
+        return f"digest algorithm mismatch: host aggregates {message.get('digest')!r}, coordinator expects {DIGEST_ALGORITHM!r}"
+    return None
+
+
+class JsonlConnection:
+    """Line-framed JSON messages over one connected socket.
+
+    Sends are blocking (messages are small; the peer is always
+    reading).  Receives come in two flavours: :meth:`receive` blocks
+    with a deadline (handshake), :meth:`drain` performs exactly one
+    ``recv`` and parses every complete line it completes -- the shape a
+    readiness loop (``selectors`` / ``connection.wait``) wants.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buffer = b""
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def send(self, message: Mapping[str, Any]) -> None:
+        try:
+            self.sock.sendall(json.dumps(message, sort_keys=True).encode() + b"\n")
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            raise ConnectionLost(str(exc)) from exc
+
+    def _take_lines(self) -> List[Dict[str, Any]]:
+        messages = []
+        while b"\n" in self._buffer:
+            line, self._buffer = self._buffer.split(b"\n", 1)
+            if line.strip():
+                messages.append(json.loads(line))
+        return messages
+
+    def receive(self, timeout_s: float = HANDSHAKE_TIMEOUT_S) -> Dict[str, Any]:
+        """Block until one complete message arrives (or the deadline)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            ready = self._take_lines()
+            if ready:
+                # push any extra complete lines back in front of the
+                # buffer so session traffic is not lost to the handshake
+                for extra in reversed(ready[1:]):
+                    self._buffer = (
+                        json.dumps(extra, sort_keys=True).encode() + b"\n" + self._buffer
+                    )
+                return ready[0]
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise HandshakeError(f"no message within {timeout_s:.1f}s")
+            self.sock.settimeout(remaining)
+            try:
+                chunk = self.sock.recv(_RECV_CHUNK)
+            except socket.timeout as exc:
+                raise HandshakeError(f"no message within {timeout_s:.1f}s") from exc
+            except (ConnectionError, OSError) as exc:
+                raise ConnectionLost(str(exc)) from exc
+            finally:
+                self.sock.settimeout(None)
+            if not chunk:
+                raise ConnectionLost("peer closed during handshake")
+            self._buffer += chunk
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """One recv's worth of complete messages (call when readable)."""
+        try:
+            chunk = self.sock.recv(_RECV_CHUNK)
+        except (ConnectionError, OSError) as exc:
+            raise ConnectionLost(str(exc)) from exc
+        if not chunk:
+            raise ConnectionLost("peer closed the connection")
+        self._buffer += chunk
+        return self._take_lines()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def parse_host_spec(spec: str) -> tuple:
+    """``"host:port"`` or ``":port"`` (localhost) -> ``(host, port)``."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"bad host spec {spec!r} (want HOST:PORT or :PORT)")
+    return (host or "127.0.0.1", int(port))

@@ -36,7 +36,7 @@ import os
 import sys
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .job import Job
@@ -128,6 +128,16 @@ class FarmReport:
     cache_hits: int = 0
     #: jobs that missed the cache and were actually executed
     cache_misses: int = 0
+    #: distributed runs only: jobs moved off a loaded shard host onto
+    #: an idle one by the coordinator
+    stolen: int = 0
+    #: distributed runs only: in-flight jobs recovered from a dead host
+    #: and re-queued through the retry machinery
+    reclaimed: int = 0
+    #: distributed runs only: per-shard-host accounting, keyed by
+    #: host_id -- {"workers", "alive", "jobs", "stolen", "reclaimed",
+    #: "retries"}
+    hosts: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def ok(self) -> int:

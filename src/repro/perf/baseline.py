@@ -40,11 +40,29 @@ GATED_COUNTERS = (
 BASELINE_VERSION = 1
 
 
+def _gate_scheduler(jobs: int, store, cache, hosts):
+    """The farm backend a gate collection runs on: local pool or shards.
+
+    Distributed runs are admissible for the same reason ``jobs`` is:
+    the gated counters are exact per job key, so *where* a workload
+    simulated cannot change what it counted -- the aggregate-digest
+    oracle CI enforces is precisely this property.
+    """
+    from ..farm.scheduler import Scheduler
+
+    if hosts:
+        from ..farm.dist import DistScheduler
+
+        return DistScheduler(hosts=list(hosts), store=store, cache=cache)
+    return Scheduler(jobs=jobs, store=store, cache=cache)
+
+
 def collect_cycles(
     names: Sequence[str] = QUICK_PROGRAMS,
     jobs: int = 1,
     store=None,
     cache=None,
+    hosts: Optional[Sequence[str]] = None,
 ) -> Dict[str, Dict[str, int]]:
     """Per-workload gated counters, collected through the farm.
 
@@ -53,12 +71,13 @@ def collect_cycles(
     ``cache`` (a :class:`repro.service.cache.ResultCache`) serves
     previously-collected workloads without re-simulating -- safe for the
     same reason the gate is blocking: the counters cannot drift between
-    identical jobs.
+    identical jobs.  ``hosts`` (shard-host specs) runs the collection on
+    the distributed farm instead of the local pool, with identical
+    output.
     """
     from ..farm.job import workload_jobs
-    from ..farm.scheduler import Scheduler
 
-    records = Scheduler(jobs=jobs, store=store, cache=cache).run(workload_jobs(list(names)))
+    records = _gate_scheduler(jobs, store, cache, hosts).run(workload_jobs(list(names)))
     out: Dict[str, Dict[str, int]] = {}
     for record in records:
         if record["status"] != "ok":
@@ -87,6 +106,7 @@ def collect_dispatch(
     jobs: int = 1,
     store=None,
     cache=None,
+    hosts: Optional[Sequence[str]] = None,
 ) -> Dict[str, Dict[str, int]]:
     """Per-workload dispatch counts under the JIT engine, via the farm.
 
@@ -96,11 +116,11 @@ def collect_dispatch(
     machine -- which is what lets CI gate throughput without touching a
     clock.  ``cache`` serves repeat collections from the persistent
     result cache (the engine-stats live in the cached record's extras).
+    ``hosts`` runs the collection on the distributed farm, identically.
     """
     from ..farm.job import workload_jobs
-    from ..farm.scheduler import Scheduler
 
-    records = Scheduler(jobs=jobs, store=store, cache=cache).run(
+    records = _gate_scheduler(jobs, store, cache, hosts).run(
         workload_jobs(list(names), engine="jit", engine_stats=True)
     )
     out: Dict[str, Dict[str, int]] = {}

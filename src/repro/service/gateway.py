@@ -48,7 +48,7 @@ import json
 import sys
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..farm.job import Job, workload_jobs
 from ..farm.store import aggregate, stable_view
@@ -139,6 +139,7 @@ class Gateway:
         max_request_jobs: int = DEFAULT_MAX_REQUEST_JOBS,
         scheduler_factory=None,
         executor_threads: int = 4,
+        shard_hosts: Optional[Sequence[str]] = None,
     ):
         self.cache = cache
         self.host = host
@@ -146,7 +147,20 @@ class Gateway:
         self.farm_jobs = farm_jobs
         self.quota_jobs = quota_jobs
         self.max_request_jobs = max_request_jobs
+        #: HOST:PORT shard specs; when set, batches run on the
+        #: distributed farm instead of the local worker pool
+        self.shard_hosts = [str(s) for s in shard_hosts] if shard_hosts else []
         self.stats = GatewayStats()
+        #: distributed-farm accounting accumulated across batches
+        #: (mutated only on the event-loop thread, after the executor
+        #: await returns -- never from the worker thread)
+        self._farm_totals: Dict[str, int] = {
+            "stolen": 0,
+            "reclaimed": 0,
+            "retries": 0,
+            "degraded_serial": 0,
+        }
+        self._farm_hosts: Dict[str, Dict[str, Any]] = {}
         self._scheduler_factory = scheduler_factory or self._default_scheduler
         self._executor = ThreadPoolExecutor(
             max_workers=executor_threads, thread_name_prefix="mips-serve"
@@ -159,6 +173,10 @@ class Gateway:
         self._server: Optional[asyncio.AbstractServer] = None
 
     def _default_scheduler(self):
+        if self.shard_hosts:
+            from ..farm.dist import DistScheduler
+
+            return DistScheduler(hosts=self.shard_hosts, cache=self.cache)
         from ..farm.scheduler import Scheduler
 
         return Scheduler(jobs=self.farm_jobs, cache=self.cache)
@@ -256,6 +274,11 @@ class Gateway:
             "inflight": len(self._inflight),
             "tenants": dict(sorted(self._tenant_pending.items())),
             "quota_jobs": self.quota_jobs,
+            "farm": {
+                **self._farm_totals,
+                "shard_hosts": list(self.shard_hosts),
+                "hosts": {k: dict(v) for k, v in sorted(self._farm_hosts.items())},
+            },
         }
 
     async def _send_json(self, writer, code: int, obj, extra: Optional[Dict[str, str]] = None):
@@ -355,7 +378,9 @@ class Gateway:
         jobs = [job for job, _future in owned]
         try:
             scheduler = self._scheduler_factory()
-            records = await loop.run_in_executor(self._executor, scheduler.run, jobs)
+            report = await loop.run_in_executor(self._executor, scheduler.run_report, jobs)
+            records = report.records
+            self._absorb_report(report)
         except Exception as exc:
             for job, future in owned:
                 self._inflight.pop(job.key, None)
@@ -376,6 +401,26 @@ class Gateway:
                 self._tenant_pending[tenant] = remaining
             else:
                 self._tenant_pending.pop(tenant, None)
+
+    def _absorb_report(self, report) -> None:
+        """Fold one batch's FarmReport into the /stats farm section.
+
+        Called on the event-loop thread after the executor await, so no
+        lock is needed against concurrent batches.
+        """
+        self._farm_totals["stolen"] += report.stolen
+        self._farm_totals["reclaimed"] += report.reclaimed
+        self._farm_totals["retries"] += report.retries
+        if report.degraded_serial:
+            self._farm_totals["degraded_serial"] += 1
+        for host_id, acct in report.hosts.items():
+            totals = self._farm_hosts.setdefault(
+                host_id, {"jobs": 0, "stolen": 0, "reclaimed": 0, "retries": 0}
+            )
+            for counter in ("jobs", "stolen", "reclaimed", "retries"):
+                totals[counter] += acct.get(counter, 0)
+            totals["workers"] = acct.get("workers")
+            totals["alive"] = acct.get("alive")
 
     async def _submit(self, writer, headers, body: bytes) -> None:
         jobs = self._parse_jobs(body)

@@ -49,6 +49,10 @@ each other's cycles).  The deterministic gates (``cycles``,
 ``dispatch``) additionally accept ``--cache DIR``: counters are exact
 per content-addressed job key, so a repeat gate run against a warm
 cache (e.g. one populated by ``mips-serve``) re-simulates nothing.
+They also accept ``--host SPEC`` (repeatable): the collection then runs
+on the distributed farm's shard hosts, and because the counters are
+exact per job key the gate verdict is identical wherever the workloads
+simulated.
 
 Usage::
 
@@ -242,7 +246,9 @@ PERF_BASELINE = os.path.join(REPO_ROOT, "PERF_BASELINE.json")
 def cmd_cycles(args: argparse.Namespace) -> int:
     from repro.perf import baseline as perf_baseline
 
-    current = perf_baseline.collect_cycles(jobs=args.jobs, cache=_gate_cache(args))
+    current = perf_baseline.collect_cycles(
+        jobs=args.jobs, cache=_gate_cache(args), hosts=args.host
+    )
     for name, counters in current.items():
         print(f"  {name}: {counters['cycles']} cycles, {counters['load_stalls']} stalls")
     gate_path = args.gate or PERF_BASELINE
@@ -283,7 +289,9 @@ def cmd_dispatch(args: argparse.Namespace) -> int:
     """
     from repro.perf import baseline as perf_baseline
 
-    current = perf_baseline.collect_dispatch(jobs=args.jobs, cache=_gate_cache(args))
+    current = perf_baseline.collect_dispatch(
+        jobs=args.jobs, cache=_gate_cache(args), hosts=args.host
+    )
     for name, counters in current.items():
         print(f"  {name}: {counters['dispatches']} dispatches, {counters['ref_steps']} ref steps")
     gate_path = args.gate or DISPATCH_BASELINE
@@ -370,6 +378,14 @@ def main(argv=None) -> int:
         help="persistent result cache: repeat gate runs are served without "
         "re-simulating (counters are content-addressed by job key)",
     )
+    cyc_p.add_argument(
+        "--host",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="collect on the distributed farm shard host at HOST:PORT "
+        "(repeatable; counters and gate verdict are identical either way)",
+    )
     cyc_p.set_defaults(func=cmd_cycles)
 
     upd_p = sub.add_parser("update-baseline", help="rewrite PERF_BASELINE.json from a fresh run")
@@ -397,6 +413,14 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="persistent result cache: repeat gate runs are served without "
         "re-simulating (dispatch counts are content-addressed by job key)",
+    )
+    dis_p.add_argument(
+        "--host",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="collect on the distributed farm shard host at HOST:PORT "
+        "(repeatable; dispatch counts and gate verdict are identical either way)",
     )
     dis_p.set_defaults(func=cmd_dispatch)
 
