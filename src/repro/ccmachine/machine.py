@@ -264,7 +264,13 @@ class CcMachine:
             self.set_cc(result)
         elif isinstance(instr, Cmp):
             self.stats.compares += 1
-            self.set_cc(u32(self.read(instr.a) - self.read(instr.b)))
+            # VAX-style compare: N/Z reflect the exact signed relation,
+            # not the wrapped subtraction -- N from a 32-bit a-b is wrong
+            # when the difference overflows (e.g. 2 vs INT_MIN+1), which
+            # an N-only condition model cannot recover from
+            a, b = s32(self.read(instr.a)), s32(self.read(instr.b))
+            self.cc_n = a < b
+            self.cc_z = a == b
         elif isinstance(instr, Br):
             self.stats.branches += 1
             if self.cond_true(instr.cond):

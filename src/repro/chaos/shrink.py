@@ -7,12 +7,17 @@ runs when the failure is monotone in the prefix (adding injections never
 un-breaks it), with a linear fallback when it is not.  Plans are
 deterministic, so the returned prefix reproduces the failure on every
 rerun of the same seed.
+
+The bisection core lives in :mod:`repro.shrink` (shared with the fuzz
+subsystem's statement- and word-level shrinkers); this module is the
+:class:`ChaosPlan`-typed wrapper.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from ..shrink import shortest_failing_prefix_length
 from .plan import ChaosPlan
 
 
@@ -31,18 +36,7 @@ def shortest_failing_prefix(
     count = len(plan.injections)
     if count == 0:
         return plan
-    lo, hi = 1, count
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if fails(plan.prefix(mid)):
-            hi = mid
-        else:
-            lo = mid + 1
-    candidate = plan.prefix(lo)
-    if fails(candidate) and (lo == 1 or not fails(plan.prefix(lo - 1))):
-        return candidate
-    for length in range(1, count + 1):
-        prefix = plan.prefix(length)
-        if fails(prefix):
-            return prefix
-    return plan
+    length = shortest_failing_prefix_length(
+        count, lambda k: fails(plan.prefix(k))
+    )
+    return plan.prefix(length)

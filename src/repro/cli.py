@@ -17,6 +17,7 @@
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 
@@ -952,6 +953,194 @@ def _shrink_and_report(name: str, seed: int, engines) -> None:
         f"last in failing prefix: {last}",
         file=sys.stderr,
     )
+
+
+def fuzz_main(argv=None) -> int:
+    """``mips-fuzz``: differential-oracle fuzzing over the farm."""
+    parser = argparse.ArgumentParser(
+        description="property-based scenario fuzzing with a cross-engine "
+        "differential oracle"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="generate and oracle-check a case range")
+    run_p.add_argument("--cases", type=int, default=100, metavar="N", help="case count")
+    run_p.add_argument("--seed", type=int, default=0, help="generator seed")
+    run_p.add_argument(
+        "--start", type=int, default=0, metavar="K", help="first case index"
+    )
+    run_p.add_argument(
+        "--fuzz-mode",
+        "--mode",
+        choices=["ast", "words", "both"],
+        default="both",
+        dest="fuzz_mode",
+        help="case level: mini-Pascal programs, raw instruction streams, or "
+        "an even/odd interleave of both",
+    )
+    run_p.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="B",
+        help="cases per farm job (default 25)",
+    )
+    run_p.add_argument("--max-steps", type=int, default=2_000_000)
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N", help="worker processes")
+    run_p.add_argument(
+        "--hosts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="distributed mode: spawn N localhost shard hosts",
+    )
+    run_p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS", help="per-job wall budget"
+    )
+    run_p.add_argument(
+        "--results", metavar="FILE", help="stream result records to a JSON-lines file"
+    )
+    run_p.add_argument(
+        "--stable-results",
+        metavar="FILE",
+        help="write stable-view JSONL in submission order (deterministic "
+        "bytes at any --jobs/--hosts)",
+    )
+    run_p.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="persistent result cache for fuzz batches (content-addressed "
+        "by seed/start/count/mode)",
+    )
+    run_p.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default="fuzz-artifacts",
+        help="directory for minimized failing-case repro artifacts",
+    )
+    run_p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="dump failing cases unminimized (faster triage of big batches)",
+    )
+
+    replay_p = sub.add_parser(
+        "replay", help="re-run a dumped failing case deterministically"
+    )
+    replay_p.add_argument("artifact", help="crash record (<name>.json) to replay")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "replay":
+        return _fuzz_replay(args.artifact)
+
+    from .farm import ResultStore, Scheduler
+    from .farm.job import fuzz_jobs
+    from .fuzz.batch import DEFAULT_BATCH
+
+    job_list = list(
+        fuzz_jobs(
+            args.seed,
+            args.cases,
+            mode=args.fuzz_mode,
+            batch=args.batch if args.batch is not None else DEFAULT_BATCH,
+            max_steps=args.max_steps,
+            start=args.start,
+        )
+    )
+    kwargs = {}
+    if args.timeout is not None:
+        kwargs["timeout_s"] = args.timeout
+    if args.cache:
+        from .service.cache import ResultCache
+
+        kwargs["cache"] = ResultCache(args.cache)
+
+    store = ResultStore(args.results) if args.results else None
+    pool = None
+    try:
+        if args.hosts:
+            from .farm.dist import DistScheduler, LocalShardPool
+
+            pool = LocalShardPool(args.hosts)
+            scheduler = DistScheduler(hosts=pool.specs, store=store, **kwargs)
+        else:
+            scheduler = Scheduler(jobs=args.jobs, store=store, **kwargs)
+        report = scheduler.run_report(job_list)
+    finally:
+        if pool is not None:
+            pool.close()
+        if store is not None:
+            store.close()
+    if args.stable_results:
+        _write_stable_results(args.stable_results, report.records)
+
+    checked = 0
+    divergences = []
+    for record in report.records:
+        fuzz = record.get("extra", {}).get("fuzz")
+        if fuzz is None:
+            # a crashed/timed-out batch never reports cases: surface it
+            print(
+                f"{record['name']:28s} {record['status']:8s} "
+                f"{(record.get('error') or {}).get('type', '')}",
+                file=sys.stderr,
+            )
+            continue
+        checked += len(fuzz["cases"])
+        divergences.extend(fuzz["divergences"])
+    digest = hashlib.sha256(
+        "".join(r.get("fingerprint") or "" for r in report.records).encode()
+    ).hexdigest()[:16]
+    mode_note = f"{len(report.hosts)} host(s)" if report.hosts else f"{args.jobs} job(s)"
+    print(
+        f"fuzz: {checked}/{args.cases} cases checked over {len(job_list)} "
+        f"batch(es) via {mode_note}, seed {args.seed}, mode {args.fuzz_mode}, "
+        f"digest {digest}"
+    )
+    if args.cache:
+        print(f"cache: {report.cache_hits} hits / {report.cache_misses} misses")
+    if checked < args.cases:
+        print("fuzz: some batches did not complete", file=sys.stderr)
+        return 2
+    if not divergences:
+        print("fuzz: no divergences")
+        return 0
+    print(f"fuzz: {len(divergences)} divergent case(s)", file=sys.stderr)
+    from .fuzz.artifacts import dump_artifact
+    from .fuzz.case import make_case
+    from .fuzz.minimize import minimize_case
+
+    for entry in divergences:
+        case = make_case(args.seed, entry["index"], entry["mode"])
+        minimized = None if args.no_shrink else minimize_case(case, max_steps=args.max_steps)
+        path = dump_artifact(args.artifacts, case, entry["divergences"], minimized)
+        shrink_note = (
+            f" (shrunk {minimized['units_full']} -> {minimized['units']} units)"
+            if minimized
+            else ""
+        )
+        print(f"  case {entry['index']} ({entry['mode']}): {path}{shrink_note}", file=sys.stderr)
+        print(f"    replay: mips-fuzz replay {path}", file=sys.stderr)
+    return 1
+
+
+def _fuzz_replay(artifact_path: str) -> int:
+    """Regenerate a dumped case from its seed triple and re-check it."""
+    from .fuzz.artifacts import load_artifact
+    from .fuzz.case import make_case
+    from .fuzz.oracle import check_case
+
+    record = load_artifact(artifact_path)
+    case = make_case(int(record["seed"]), int(record["index"]), record["mode"])
+    result = check_case(case)
+    print(
+        f"replay {case.name}: status={result.status} digest={result.digest} "
+        f"(artifact recorded {len(record.get('divergences', []))} divergence(s))"
+    )
+    for div in result.divergences:
+        print(f"  {div.get('check')}: {json.dumps(div, sort_keys=True)[:200]}")
+    return 1 if result.failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

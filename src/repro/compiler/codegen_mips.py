@@ -810,7 +810,14 @@ class CodeGenerator:
             if shift == 0:
                 source: Operand = reg
             else:
-                self.emit(Alu(AluOp.SLL, reg, Imm(shift), scratch))
+                # chain through the 4-bit shift field for set bits >= 16
+                step = min(shift, 15)
+                self.emit(Alu(AluOp.SLL, reg, Imm(step), scratch))
+                remaining = shift - step
+                while remaining > 0:
+                    step = min(remaining, 15)
+                    self.emit(Alu(AluOp.SLL, scratch, Imm(step), scratch))
+                    remaining -= step
                 source = scratch
             if first:
                 self.emit(Alu(AluOp.MOV, source, Imm(0), out))
@@ -1006,24 +1013,28 @@ class CodeGenerator:
         assert expr.left is not None and expr.right is not None
         op = expr.op
         left = self.gen_expr(expr.left)
-        # constant folding
+        # constant folding -- wrapped to the 32-bit register width the
+        # runtime ALU would have produced, or folded and computed values
+        # disagree on wraparound edges
         if left.is_const and isinstance(expr.right, (ast.IntLit, ast.CharLit)):
+            from ..isa.bits import s32
+
             rv = expr.right.value
             lv = left.const
             assert lv is not None
             if op == "+":
-                return Val(const=lv + rv)
+                return Val(const=s32(lv + rv))
             if op == "-":
-                return Val(const=lv - rv)
+                return Val(const=s32(lv - rv))
             if op == "*":
-                return Val(const=lv * rv)
+                return Val(const=s32(lv * rv))
             if op == "div" and rv != 0:
                 quotient = abs(lv) // abs(rv)
-                return Val(const=quotient if (lv < 0) == (rv < 0) else -quotient)
+                return Val(const=s32(quotient if (lv < 0) == (rv < 0) else -quotient))
             if op == "mod" and rv != 0:
                 quotient = abs(lv) // abs(rv)
                 signed = quotient if (lv < 0) == (rv < 0) else -quotient
-                return Val(const=lv - signed * rv)
+                return Val(const=s32(lv - signed * rv))
 
         if op in ("+", "-"):
             right = self.gen_expr(expr.right)

@@ -27,6 +27,7 @@ KIND_EXPERIMENT = "experiment"  # one registered table/figure reproduction
 KIND_DMA = "dma"                # free-cycle DMA throughput over one workload
 KIND_BENCH = "bench"            # one pytest-benchmark test, run in isolation
 KIND_CHAOS = "chaos"            # fault-injection probe (tests only)
+KIND_FUZZ = "fuzz"              # differential-oracle fuzz batch
 
 ALL_KINDS = (
     KIND_WORKLOAD,
@@ -36,6 +37,7 @@ ALL_KINDS = (
     KIND_DMA,
     KIND_BENCH,
     KIND_CHAOS,
+    KIND_FUZZ,
 )
 
 
@@ -210,6 +212,39 @@ def profile_jobs(
 def experiment_jobs(names: Sequence[str]) -> Tuple[Job, ...]:
     """One job per registered experiment (table/figure) name."""
     return tuple(Job(kind=KIND_EXPERIMENT, name=name) for name in names)
+
+
+def fuzz_jobs(
+    seed: int,
+    cases: int,
+    mode: str = "both",
+    batch: int = 25,
+    max_steps: int = 2_000_000,
+    start: int = 0,
+) -> Tuple[Job, ...]:
+    """Contiguous fuzz-case batches as content-addressed jobs.
+
+    Which cases a batch covers is a pure function of its spec (seed,
+    start, count, mode), never of the parallelism that executes it, so
+    the result set is byte-identical at any ``--jobs``/``--hosts``
+    split and a cached batch stays valid forever.
+    """
+    from ..fuzz.batch import batch_ranges
+
+    return tuple(
+        Job(
+            kind=KIND_FUZZ,
+            name=f"fuzz-{mode}-s{seed}-b{start + r['start']:06d}",
+            spec={
+                "seed": seed,
+                "start": start + r["start"],
+                "count": r["count"],
+                "mode": mode,
+            },
+            max_steps=max_steps,
+        )
+        for r in batch_ranges(cases, batch)
+    )
 
 
 def chaos_jobs(

@@ -368,6 +368,48 @@ def _execute_chaos(record: Dict[str, Any], job: Mapping[str, Any], attempt: int,
     record["extra"]["succeeded_on_attempt"] = attempt
 
 
+def _execute_fuzz(record: Dict[str, Any], job: Mapping[str, Any]) -> None:
+    """One differential-oracle fuzz batch (see :mod:`repro.fuzz`).
+
+    The record's fingerprint is the batch digest -- a pure function of
+    (seed, start, count, mode) -- so identical batches executed under
+    any sharding produce identical records and cache cleanly.  A batch
+    containing divergences becomes a non-retryable error record whose
+    message carries the first case's one-line replay command.
+    """
+    from ..fuzz.batch import run_batch
+
+    spec = job.get("spec", {})
+    summary = run_batch(
+        int(spec["seed"]),
+        int(spec["start"]),
+        int(spec["count"]),
+        spec.get("mode", "both"),
+        max_steps=job.get("max_steps", 2_000_000),
+    )
+    record["words"] = summary["count"]
+    record["fingerprint"] = summary["digest"]
+    record["extra"]["fuzz"] = {
+        "seed": summary["seed"],
+        "start": summary["start"],
+        "count": summary["count"],
+        "mode": summary["mode"],
+        "cases": summary["cases"],
+        "divergences": summary["divergences"],
+    }
+    if summary["divergences"]:
+        first = summary["divergences"][0]
+        record["status"] = STATUS_ERROR
+        record["error"] = {
+            "type": "FuzzDivergence",
+            "message": (
+                f"{len(summary['divergences'])} divergent case(s); first is "
+                f"case {first['index']} ({first['mode']}); "
+                f"replay: {first['replay']}"
+            ),
+        }
+
+
 _EXECUTORS = {
     "workload": _execute_simulation,
     "source": _execute_simulation,
@@ -375,6 +417,7 @@ _EXECUTORS = {
     "experiment": _execute_experiment,
     "dma": _execute_dma,
     "bench": _execute_bench,
+    "fuzz": _execute_fuzz,
 }
 
 

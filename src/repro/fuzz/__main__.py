@@ -1,0 +1,8 @@
+"""``python -m repro.fuzz`` -- the mips-fuzz entry point (used by CI)."""
+
+import sys
+
+from ..cli import fuzz_main
+
+if __name__ == "__main__":
+    sys.exit(fuzz_main())

@@ -1,0 +1,531 @@
+"""Seeded structured generation of valid mini-Pascal programs.
+
+The generator builds real :mod:`repro.lang.ast` nodes -- the same
+dataclasses the parser produces -- and renders them back to source
+text, so every generated program is valid by construction and round-
+trips through the full front end.  All randomness flows from one
+``random.Random`` seeded per case, making generation byte-reproducible
+across runs, processes, and hosts.
+
+Coverage targets the paper's machinery:
+
+- arithmetic over **wraparound edge values** (powers of two straddling
+  the 4-bit operand constant, the 8-bit ``movi``, the 21-bit long
+  immediate, and the 32-bit word) stresses immediate selection
+  (Table 1) and the runtime multiply/divide;
+- nested conditionals with ``and``/``or``/``not`` conditions stress
+  boolean evaluation strategy (Tables 4-6) and branch reorganization;
+- bounded ``for``/``while``/``repeat`` loops and procedure/function
+  calls stress the reorganizer's branch-delay machinery across
+  optimization levels;
+- array element access (always range-wrapped, so the program stays
+  well-defined) stresses addressing-mode selection.
+
+Programs terminate by construction: every loop is either a literal-
+bounded ``for`` or counted down through a dedicated counter variable,
+and division operands always use nonzero literal divisors (excluding
+``-1``, whose ``INT_MIN div -1`` corner is unspecified overflow in
+real Pascals).
+
+The top-level statement list is the **shrink unit**: each statement is
+self-contained over the fixed declarations, so any prefix of the list
+(plus the write-back epilogue) is itself a valid program -- which is
+what lets :mod:`repro.fuzz.minimize` bisect a failing program down to
+a minimal repro.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..lang import ast
+
+#: integer globals every generated program declares
+INT_VARS = ("va", "vb", "vc", "vd", "ve")
+#: dedicated loop-counter globals (never assigned by generated bodies)
+COUNTER_VARS = ("wa", "wb")
+FOR_VARS = ("ia", "ib")
+#: the array global: a0[0..ARRAY_LEN-1] of integer
+ARRAY_NAME = "a0"
+ARRAY_LEN = 8
+
+#: constants straddling the encodings' boundaries: the 4-bit operand
+#: constant (0..15), the 8-bit movi (0..255), the 21-bit long
+#: immediate, and the 32-bit word edge (Table 1's buckets)
+EDGE_VALUES = (
+    0, 1, 2, 3, 7, 8, 15, 16, 17, 31, 32, 100, 127, 128, 255, 256, 257,
+    1000, 32767, 32768, 65535, 65536, 1048575, 1048576, 2097152,
+    2147483645, 2147483647,
+    -1, -2, -7, -8, -15, -16, -100, -128, -255, -256, -32768, -65536,
+    -1048576, -2147483647, -2147483648,
+)
+
+#: nonzero literal divisors (no -1: INT_MIN div -1 is an overflow corner
+#: real Pascals leave unspecified)
+DIVISORS = (2, 3, 5, 7, 8, 10, 16, 100, -2, -3, -8)
+
+
+# ---------------------------------------------------------------------------
+# AST -> source rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_expr(expr: ast.Expr) -> str:
+    """Fully parenthesized source for an expression node."""
+    if isinstance(expr, ast.IntLit):
+        return f"({expr.value})" if expr.value < 0 else str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.CharLit):
+        return f"chr({expr.value})"  # unused by the generator; kept total
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.Index):
+        return f"{_render_expr(expr.base)}[{_render_expr(expr.index)}]"
+    if isinstance(expr, ast.FieldAccess):
+        return f"{_render_expr(expr.base)}.{expr.field_name}"
+    if isinstance(expr, ast.BinOp):
+        return f"({_render_expr(expr.left)} {expr.op} {_render_expr(expr.right)})"
+    if isinstance(expr, ast.UnOp):
+        return f"({expr.op} {_render_expr(expr.operand)})"
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(_render_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"unrenderable expression {expr!r}")
+
+
+def _render_stmt(stmt: ast.Stmt, indent: int) -> List[str]:
+    pad = "  " * indent
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{_render_expr(stmt.target)} := {_render_expr(stmt.value)}"]
+    if isinstance(stmt, ast.CallStmt):
+        args = ", ".join(_render_expr(a) for a in stmt.args)
+        return [f"{pad}{stmt.name}({args})" if args else f"{pad}{stmt.name}"]
+    if isinstance(stmt, ast.Compound):
+        lines = [f"{pad}begin"]
+        lines.extend(_render_body(stmt.body, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if {_render_expr(stmt.cond)} then"]
+        lines.extend(_render_stmt(_as_compound(stmt.then_branch), indent))
+        if stmt.else_branch is not None:
+            lines.append(f"{pad}else")
+            lines.extend(_render_stmt(_as_compound(stmt.else_branch), indent))
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while {_render_expr(stmt.cond)} do"]
+        lines.extend(_render_stmt(_as_compound(stmt.body), indent))
+        return lines
+    if isinstance(stmt, ast.Repeat):
+        lines = [f"{pad}repeat"]
+        lines.extend(_render_body(stmt.body, indent + 1))
+        lines.append(f"{pad}until {_render_expr(stmt.cond)}")
+        return lines
+    if isinstance(stmt, ast.For):
+        direction = "downto" if stmt.downto else "to"
+        lines = [
+            f"{pad}for {stmt.var} := {_render_expr(stmt.start)} "
+            f"{direction} {_render_expr(stmt.stop)} do"
+        ]
+        lines.extend(_render_stmt(_as_compound(stmt.body), indent))
+        return lines
+    if isinstance(stmt, ast.Write):
+        name = "writeln" if stmt.newline else "write"
+        args = ", ".join(_render_expr(a) for a in stmt.args)
+        return [f"{pad}{name}({args})" if args else f"{pad}{name}"]
+    if isinstance(stmt, ast.Read):
+        return [f"{pad}read({_render_expr(stmt.target)})"]
+    raise TypeError(f"unrenderable statement {stmt!r}")
+
+
+def _as_compound(stmt: Optional[ast.Stmt]) -> ast.Compound:
+    if isinstance(stmt, ast.Compound):
+        return stmt
+    return ast.Compound(0, [stmt] if stmt is not None else [])
+
+
+def _render_body(stmts: Sequence[ast.Stmt], indent: int) -> List[str]:
+    lines: List[str] = []
+    for position, stmt in enumerate(stmts):
+        rendered = _render_stmt(stmt, indent)
+        if position != len(stmts) - 1:
+            rendered[-1] += ";"
+        lines.extend(rendered)
+    return lines
+
+
+def _render_type(expr) -> str:
+    if isinstance(expr, ast.NamedType):
+        return expr.name
+    if isinstance(expr, ast.ArrayTypeExpr):
+        packed = "packed " if expr.packed else ""
+        return f"{packed}array [{expr.low}..{expr.high}] of {_render_type(expr.element)}"
+    raise TypeError(f"unrenderable type {expr!r}")
+
+
+def _render_routine(routine: ast.Routine) -> List[str]:
+    keyword = "function" if routine.is_function else "procedure"
+    params = "; ".join(
+        f"{'var ' if p.by_ref else ''}{p.name}: {_render_type(p.type_expr)}"
+        for p in routine.params
+    )
+    header = f"{keyword} {routine.name}"
+    if params:
+        header += f"({params})"
+    if routine.is_function:
+        header += f": {_render_type(routine.result_type)}"
+    header += ";"
+    lines = [header]
+    if routine.local_vars:
+        lines.append("var " + "; ".join(
+            f"{v.name}: {_render_type(v.type_expr)}" for v in routine.local_vars
+        ) + ";")
+    lines.extend(_render_stmt(routine.body, 0))
+    lines[-1] += ";"
+    return lines
+
+
+def render_program(
+    name: str,
+    global_vars: Sequence[ast.VarDecl],
+    routines: Sequence[ast.Routine],
+    body: Sequence[ast.Stmt],
+) -> str:
+    """Render a generated program AST back to mini-Pascal source."""
+    lines = [f"program {name};"]
+    if global_vars:
+        lines.append("var")
+        for decl in global_vars:
+            lines.append(f"  {decl.name}: {_render_type(decl.type_expr)};")
+    for routine in routines:
+        lines.extend(_render_routine(routine))
+    lines.append("begin")
+    lines.extend(_render_body(list(body), 1))
+    lines.append("end.")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+
+
+def _int_lit(rng: random.Random) -> ast.IntLit:
+    if rng.random() < 0.5:
+        return ast.IntLit(0, rng.choice(EDGE_VALUES))
+    return ast.IntLit(0, rng.randrange(0, 100))
+
+
+def _wrapped_index(expr: ast.Expr) -> ast.Expr:
+    """``((expr mod LEN) + LEN) mod LEN`` -- always in array range."""
+    length = ast.IntLit(0, ARRAY_LEN)
+    inner = ast.BinOp(0, "mod", expr, length)
+    shifted = ast.BinOp(0, "+", inner, length)
+    return ast.BinOp(0, "mod", shifted, ast.IntLit(0, ARRAY_LEN))
+
+
+class AstGenerator:
+    """One generated program: fixed declarations + a statement pool."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.functions: List[ast.Routine] = []
+        self.procedures: List[ast.Routine] = []
+        self._routines = self._gen_routines()
+
+    # -- expressions -------------------------------------------------------
+
+    def int_expr(self, depth: int, scope: Sequence[str], calls: bool = True) -> ast.Expr:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            roll = rng.random()
+            if roll < 0.45:
+                return _int_lit(rng)
+            if roll < 0.85 or not calls:
+                return ast.VarRef(0, rng.choice(list(scope)))
+            if self.functions and rng.random() < 0.5:
+                fn = rng.choice(self.functions)
+                return ast.CallExpr(0, fn.name, [self.int_expr(0, scope, calls=False)])
+            return ast.Index(
+                0,
+                ast.VarRef(0, ARRAY_NAME),
+                _wrapped_index(self.int_expr(0, scope, calls=False)),
+            )
+        op = rng.choice(("+", "-", "*", "div", "mod", "+", "-"))
+        left = self.int_expr(depth - 1, scope, calls)
+        if op in ("div", "mod"):
+            right: ast.Expr = ast.IntLit(0, rng.choice(DIVISORS))
+        else:
+            right = self.int_expr(depth - 1, scope, calls)
+        if rng.random() < 0.1:
+            left = ast.UnOp(0, "-", left)
+        return ast.BinOp(0, op, left, right)
+
+    def bool_expr(self, depth: int, scope: Sequence[str]) -> ast.Expr:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.5:
+            op = rng.choice(("=", "<>", "<", "<=", ">", ">="))
+            return ast.BinOp(
+                0, op, self.int_expr(1, scope, calls=False), self.int_expr(1, scope, calls=False)
+            )
+        roll = rng.random()
+        if roll < 0.4:
+            return ast.BinOp(
+                0, "and", self.bool_expr(depth - 1, scope), self.bool_expr(depth - 1, scope)
+            )
+        if roll < 0.8:
+            return ast.BinOp(
+                0, "or", self.bool_expr(depth - 1, scope), self.bool_expr(depth - 1, scope)
+            )
+        return ast.UnOp(0, "not", self.bool_expr(depth - 1, scope))
+
+    # -- statements --------------------------------------------------------
+
+    def assign(self, scope: Sequence[str], targets: Sequence[str]) -> ast.Stmt:
+        rng = self.rng
+        if rng.random() < 0.2:
+            target: ast.Expr = ast.Index(
+                0,
+                ast.VarRef(0, ARRAY_NAME),
+                _wrapped_index(self.int_expr(1, scope, calls=False)),
+            )
+        else:
+            target = ast.VarRef(0, rng.choice(list(targets)))
+        return ast.Assign(0, target, self.int_expr(rng.randrange(1, 4), scope))
+
+    def if_stmt(self, depth: int, scope: Sequence[str], targets: Sequence[str]) -> ast.Stmt:
+        then_branch = ast.Compound(0, self.stmt_list(depth - 1, scope, targets))
+        else_branch = (
+            ast.Compound(0, self.stmt_list(depth - 1, scope, targets))
+            if self.rng.random() < 0.6
+            else None
+        )
+        return ast.If(0, self.bool_expr(2, scope), then_branch, else_branch)
+
+    def for_stmt(self, depth: int, scope: Sequence[str], targets: Sequence[str]) -> ast.Stmt:
+        rng = self.rng
+        var = FOR_VARS[depth % len(FOR_VARS)]
+        start = rng.randrange(0, 5)
+        span = rng.randrange(0, 9)
+        downto = rng.random() < 0.3
+        body = ast.Compound(0, self.stmt_list(depth - 1, scope, targets))
+        if downto:
+            return ast.For(0, var, ast.IntLit(0, start + span), ast.IntLit(0, start), True, body)
+        return ast.For(0, var, ast.IntLit(0, start), ast.IntLit(0, start + span), False, body)
+
+    def while_stmt(self, depth: int, scope: Sequence[str], targets: Sequence[str]) -> ast.Stmt:
+        """A counted while: terminates whatever the extra condition does."""
+        rng = self.rng
+        counter = COUNTER_VARS[depth % len(COUNTER_VARS)]
+        bound = rng.randrange(1, 9)
+        cond: ast.Expr = ast.BinOp(0, ">", ast.VarRef(0, counter), ast.IntLit(0, 0))
+        if rng.random() < 0.5:
+            cond = ast.BinOp(0, "and", cond, self.bool_expr(1, scope))
+        body = self.stmt_list(depth - 1, scope, targets)
+        body.append(
+            ast.Assign(
+                0,
+                ast.VarRef(0, counter),
+                ast.BinOp(0, "-", ast.VarRef(0, counter), ast.IntLit(0, 1)),
+            )
+        )
+        return ast.Compound(
+            0,
+            [
+                ast.Assign(0, ast.VarRef(0, counter), ast.IntLit(0, bound)),
+                ast.While(0, cond, ast.Compound(0, body)),
+            ],
+        )
+
+    def repeat_stmt(self, depth: int, scope: Sequence[str], targets: Sequence[str]) -> ast.Stmt:
+        rng = self.rng
+        counter = COUNTER_VARS[depth % len(COUNTER_VARS)]
+        bound = rng.randrange(1, 7)
+        body = self.stmt_list(depth - 1, scope, targets)
+        body.append(
+            ast.Assign(
+                0,
+                ast.VarRef(0, counter),
+                ast.BinOp(0, "-", ast.VarRef(0, counter), ast.IntLit(0, 1)),
+            )
+        )
+        until: ast.Expr = ast.BinOp(0, "<=", ast.VarRef(0, counter), ast.IntLit(0, 0))
+        if rng.random() < 0.4:
+            until = ast.BinOp(0, "or", until, self.bool_expr(1, scope))
+        return ast.Compound(
+            0,
+            [
+                ast.Assign(0, ast.VarRef(0, counter), ast.IntLit(0, bound)),
+                ast.Repeat(0, body, until),
+            ],
+        )
+
+    def write_stmt(self, scope: Sequence[str]) -> ast.Stmt:
+        return ast.Write(
+            0, [self.int_expr(2, scope, calls=True)], newline=self.rng.random() < 0.5
+        )
+
+    def call_stmt(self, scope: Sequence[str]) -> Optional[ast.Stmt]:
+        if not self.procedures:
+            return None
+        proc = self.rng.choice(self.procedures)
+        args: List[ast.Expr] = []
+        for param in proc.params:
+            if param.by_ref:
+                args.append(ast.VarRef(0, self.rng.choice(INT_VARS)))
+            else:
+                args.append(self.int_expr(1, scope, calls=False))
+        return ast.CallStmt(0, proc.name, args)
+
+    def stmt_list(
+        self, depth: int, scope: Sequence[str], targets: Sequence[str]
+    ) -> List[ast.Stmt]:
+        out: List[ast.Stmt] = []
+        for _ in range(self.rng.randrange(1, 4)):
+            out.append(self.statement(depth, scope, targets))
+        return out
+
+    def statement(self, depth: int, scope: Sequence[str], targets: Sequence[str]) -> ast.Stmt:
+        rng = self.rng
+        if depth <= 0:
+            return self.assign(scope, targets)
+        roll = rng.random()
+        if roll < 0.40:
+            return self.assign(scope, targets)
+        if roll < 0.55:
+            return self.if_stmt(depth, scope, targets)
+        if roll < 0.68:
+            return self.for_stmt(depth, scope, targets)
+        if roll < 0.78:
+            return self.while_stmt(depth, scope, targets)
+        if roll < 0.86:
+            return self.repeat_stmt(depth, scope, targets)
+        if roll < 0.94:
+            return self.write_stmt(scope)
+        stmt = self.call_stmt(scope)
+        return stmt if stmt is not None else self.assign(scope, targets)
+
+    # -- routines ----------------------------------------------------------
+
+    def _gen_routines(self) -> List[ast.Routine]:
+        rng = self.rng
+        routines: List[ast.Routine] = []
+        if rng.random() < 0.7:
+            # function fz(p0: integer): integer -- pure over its argument
+            # and the globals; the result assignment is the last statement
+            scope = ("p0",) + INT_VARS
+            body = [
+                ast.Assign(0, ast.VarRef(0, "t0"), self.int_expr(2, scope, calls=False)),
+                ast.Assign(
+                    0,
+                    ast.VarRef(0, "fz"),
+                    self.int_expr(2, ("p0", "t0") + INT_VARS, calls=False),
+                ),
+            ]
+            fn = ast.Routine(
+                name="fz",
+                params=[ast.Param("p0", ast.NamedType("integer"))],
+                result_type=ast.NamedType("integer"),
+                consts=[],
+                local_vars=[ast.VarDecl("t0", ast.NamedType("integer"))],
+                body=ast.Compound(0, body),
+            )
+            routines.append(fn)
+            self.functions.append(fn)
+        if rng.random() < 0.6:
+            # procedure pz(p0, p1: integer; var r0: integer)
+            scope = ("p0", "p1") + INT_VARS
+            body: List[ast.Stmt] = [
+                ast.Assign(0, ast.VarRef(0, "r0"), self.int_expr(2, scope, calls=False))
+            ]
+            if rng.random() < 0.5:
+                body.append(
+                    ast.If(
+                        0,
+                        self.bool_expr(1, ("p0", "p1", "r0")),
+                        ast.Compound(
+                            0,
+                            [
+                                ast.Assign(
+                                    0,
+                                    ast.VarRef(0, "r0"),
+                                    self.int_expr(1, ("p0", "r0"), calls=False),
+                                )
+                            ],
+                        ),
+                        None,
+                    )
+                )
+            proc = ast.Routine(
+                name="pz",
+                params=[
+                    ast.Param("p0", ast.NamedType("integer")),
+                    ast.Param("p1", ast.NamedType("integer")),
+                    ast.Param("r0", ast.NamedType("integer"), by_ref=True),
+                ],
+                result_type=None,
+                consts=[],
+                local_vars=[],
+                body=ast.Compound(0, body),
+            )
+            routines.append(proc)
+            self.procedures.append(proc)
+        return routines
+
+
+def global_decls() -> List[ast.VarDecl]:
+    decls = [ast.VarDecl(n, ast.NamedType("integer")) for n in INT_VARS]
+    decls.extend(ast.VarDecl(n, ast.NamedType("integer")) for n in COUNTER_VARS)
+    decls.extend(ast.VarDecl(n, ast.NamedType("integer")) for n in FOR_VARS)
+    decls.append(
+        ast.VarDecl(ARRAY_NAME, ast.ArrayTypeExpr(0, ARRAY_LEN - 1, ast.NamedType("integer")))
+    )
+    return decls
+
+
+def epilogue() -> List[ast.Stmt]:
+    """Write back every global -- the cross-engine/cross-level oracle's
+    observable state, emitted after whatever statement prefix survives
+    shrinking."""
+    stmts: List[ast.Stmt] = [
+        ast.Write(0, [ast.VarRef(0, name)], newline=True) for name in INT_VARS
+    ]
+    stmts.extend(
+        ast.Write(
+            0,
+            [ast.Index(0, ast.VarRef(0, ARRAY_NAME), ast.IntLit(0, k))],
+            newline=True,
+        )
+        for k in range(ARRAY_LEN)
+    )
+    return stmts
+
+
+def generate_ast_program(
+    seed: int, index: int
+) -> Tuple[List[ast.Routine], List[ast.Stmt]]:
+    """The deterministic (routines, top-level statement units) for a case.
+
+    The statement list excludes the epilogue; callers render any prefix
+    of it with :func:`render_ast_case`.
+    """
+    rng = random.Random((seed * 1_000_003 + index) ^ 0x5CA1AB1E)
+    gen = AstGenerator(rng)
+    units: List[ast.Stmt] = []
+    # seed the globals with edge values before anything else runs
+    for name in INT_VARS:
+        units.append(ast.Assign(0, ast.VarRef(0, name), _int_lit(rng)))
+    for _ in range(rng.randrange(3, 9)):
+        units.append(gen.statement(2, INT_VARS, INT_VARS))
+    return gen._routines, units
+
+
+def render_ast_case(
+    index: int, routines: Sequence[ast.Routine], units: Sequence[ast.Stmt]
+) -> str:
+    """Render a (possibly shrunk) unit list as a complete program."""
+    return render_program(
+        f"fuzz{index}", global_decls(), routines, list(units) + epilogue()
+    )

@@ -1,0 +1,70 @@
+"""Reusable failure minimization by shortest-failing-prefix bisection.
+
+Chaos plans and fuzz cases share one minimization problem: a sequence of
+elements (injections, statements, instruction words) produced a failure,
+and the interesting element is usually one of many.  The core here
+binary-searches the shortest prefix that still reproduces the failure --
+O(log n) evaluations when the failure is monotone in the prefix (adding
+elements never un-breaks it), with a linear fallback when it is not.
+
+Callers provide only ``fails_at(k)``: does the length-``k`` prefix still
+fail?  The predicate is re-evaluated, never assumed, so a non-monotone
+interaction between elements degrades to a linear scan instead of a
+wrong answer.  Everything upstream (plans, generated programs) is
+deterministic, so a returned prefix reproduces its failure on every
+rerun of the same seed.
+
+:mod:`repro.chaos.shrink` wraps this for :class:`~repro.chaos.plan.
+ChaosPlan` objects (injection-level); :mod:`repro.fuzz.minimize` wraps
+it for generated programs (statement-level for mini-Pascal ASTs,
+word-level for instruction streams).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def shortest_failing_prefix_length(
+    count: int, fails_at: Callable[[int], bool]
+) -> int:
+    """The smallest ``k`` in 1..count for which ``fails_at(k)`` holds.
+
+    ``fails_at(count)`` is expected to be True (the caller saw the
+    failure on the full sequence).  Returns ``count`` unchanged when
+    even the full sequence no longer fails -- the caller keeps what it
+    started with rather than "shrinking" to something that passes.
+    """
+    if count <= 0:
+        return count
+    lo, hi = 1, count
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if fails_at(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    # bisection assumed monotonicity; verify before trusting the answer
+    if fails_at(lo) and (lo == 1 or not fails_at(lo - 1)):
+        return lo
+    for length in range(1, count + 1):
+        if fails_at(length):
+            return length
+    return count
+
+
+def shortest_failing_prefix_items(
+    items: Sequence[T], fails: Callable[[Sequence[T]], bool]
+) -> List[T]:
+    """The shortest ``items[:k]`` on which ``fails`` still holds.
+
+    The generic sequence form: statement lists, instruction-word lists,
+    anything sliceable.  Cost model matches
+    :func:`shortest_failing_prefix_length`.
+    """
+    length = shortest_failing_prefix_length(
+        len(items), lambda k: fails(items[:k])
+    )
+    return list(items[:length])
