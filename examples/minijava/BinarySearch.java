@@ -1,0 +1,66 @@
+class BinarySearch {
+    public static void main(String[] a) {
+        Finder f;
+        int hits;
+        f = new Finder();
+        hits = f.run(16);
+        System.out.println(hits);
+        System.out.println(f.search(21));
+        System.out.println(f.search(22));
+    }
+}
+
+class Finder {
+    int[] data;
+
+    public int init(int n) {
+        int i;
+        data = new int[n];
+        i = 0;
+        while (i < n) {
+            data[i] = i * 3;
+            i = i + 1;
+        }
+        return n;
+    }
+
+    public int search(int value) {
+        int lo;
+        int hi;
+        int mid;
+        int found;
+        lo = 0;
+        hi = data.length - 1;
+        found = 0 - 1;
+        while (lo <= hi) {
+            mid = (lo + hi) / 2;
+            if (data[mid] == value) {
+                found = mid;
+                hi = lo - 1;
+            } else {
+                if (data[mid] < value) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+        }
+        return found;
+    }
+
+    public int run(int n) {
+        int sink;
+        int hits;
+        int probe;
+        sink = this.init(n);
+        hits = 0;
+        probe = 0;
+        while (probe < n * 3) {
+            if (0 <= this.search(probe)) {
+                hits = hits + 1;
+            }
+            probe = probe + 1;
+        }
+        return hits;
+    }
+}

@@ -1,0 +1,19 @@
+class Factorial {
+    public static void main(String[] a) {
+        Fac f;
+        f = new Fac();
+        System.out.println(f.computeFac(10));
+    }
+}
+
+class Fac {
+    public int computeFac(int num) {
+        int result;
+        if (num < 1) {
+            result = 1;
+        } else {
+            result = num * this.computeFac(num - 1);
+        }
+        return result;
+    }
+}

@@ -1,0 +1,49 @@
+class Shapes {
+    public static void main(String[] s) {
+        Shape a;
+        Shape b;
+        Shape c;
+        int total;
+        a = new Square().init(5, 0);
+        b = new Rectangle().init(4, 6);
+        c = new Triangle().init(10, 3);
+        total = a.area() + b.area() + c.area();
+        System.out.println(a.area());
+        System.out.println(b.area());
+        System.out.println(c.area());
+        System.out.println(total);
+    }
+}
+
+class Shape {
+    int w;
+    int h;
+
+    public Shape init(int width, int height) {
+        w = width;
+        h = height;
+        return this;
+    }
+
+    public int area() {
+        return 0;
+    }
+}
+
+class Square extends Shape {
+    public int area() {
+        return w * w;
+    }
+}
+
+class Rectangle extends Shape {
+    public int area() {
+        return w * h;
+    }
+}
+
+class Triangle extends Shape {
+    public int area() {
+        return (w * h) / 2;
+    }
+}

@@ -21,10 +21,42 @@ import hashlib
 import json
 import sys
 
+#: exit code for an unusable invocation (e.g. an unknown --lang)
+EXIT_USAGE = 2
 #: exit code when a guest program exhausts its --max-steps budget
 EXIT_STEP_BUDGET = 3
 #: exit code for an unrecoverable guest fault or a double-fault panic
 EXIT_PANIC = 4
+
+
+def _check_lang(lang: str, supported) -> int:
+    """Validate a ``--lang`` value: 0 if supported, else a structured
+    stderr record and :data:`EXIT_USAGE` (never a traceback)."""
+    if lang in supported:
+        return 0
+    record = {
+        "error": "unknown-lang",
+        "lang": lang,
+        "supported": sorted(supported),
+    }
+    print(f"error: unknown --lang {lang!r}", file=sys.stderr)
+    print(json.dumps(record, sort_keys=True), file=sys.stderr)
+    return EXIT_USAGE
+
+
+def _compile_for_lang(lang: str, source: str, options, opt_level=None):
+    """Front-end dispatch shared by ``mipsc`` and ``mips-sim``."""
+    if lang == "minijava":
+        from .mjlang import compile_minijava
+
+        if opt_level is None:
+            return compile_minijava(source, options)
+        return compile_minijava(source, options, opt_level)
+    from .compiler import compile_source
+
+    if opt_level is None:
+        return compile_source(source, options)
+    return compile_source(source, options, opt_level)
 
 
 def _report_guest_failure(machine, exc) -> int:
@@ -86,16 +118,33 @@ def sim_main(argv=None) -> int:
         help="enable profile-guided superblock fusion on the fast path "
         "(behaviour and output are bit-identical; hot loops run faster)",
     )
+    parser.add_argument(
+        "--lang",
+        default="asm",
+        help="source language: asm (default), pascal, or minijava "
+        "(high-level sources are compiled at branch-delay level first)",
+    )
     args = parser.parse_args(argv)
+    bad_lang = _check_lang(args.lang, ("asm", "pascal", "minijava"))
+    if bad_lang:
+        return bad_lang
     from .sim import HazardMode, KernelPanic, Machine, MachineFault
-    from .asm import assemble
 
     with open(args.source) as handle:
-        machine = Machine(
-            assemble(handle.read()),
-            hazard_mode=HazardMode(args.mode),
-            inputs=args.input,
-        )
+        source = handle.read()
+    if args.lang == "asm":
+        from .asm import assemble
+
+        program = assemble(source)
+    else:
+        from .compiler import CompileOptions
+
+        program = _compile_for_lang(args.lang, source, CompileOptions()).program
+    machine = Machine(
+        program,
+        hazard_mode=HazardMode(args.mode),
+        inputs=args.input,
+    )
     try:
         stats = machine.run(args.max_steps, jit=args.jit)
     except (MachineFault, KernelPanic) as exc:
@@ -144,8 +193,15 @@ def reorg_main(argv=None) -> int:
 
 
 def compile_main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description="mini-Pascal compiler + simulator")
-    parser.add_argument("source", help="mini-Pascal source file")
+    parser = argparse.ArgumentParser(
+        description="mini-Pascal / MiniJava compiler + simulator"
+    )
+    parser.add_argument("source", help="source file (mini-Pascal or MiniJava)")
+    parser.add_argument(
+        "--lang",
+        default="pascal",
+        help="source language: pascal (default) or minijava",
+    )
     parser.add_argument("--layout", choices=["word", "byte"], default="word")
     parser.add_argument("--no-run", action="store_true", help="only list the code")
     parser.add_argument(
@@ -158,12 +214,17 @@ def compile_main(argv=None) -> int:
     )
     parser.add_argument("--input", type=int, action="append", default=[])
     args = parser.parse_args(argv)
-    from .compiler import CompileOptions, LayoutStrategy, compile_source
+    bad_lang = _check_lang(args.lang, ("pascal", "minijava"))
+    if bad_lang:
+        return bad_lang
+    from .compiler import CompileOptions, LayoutStrategy
     from .sim import KernelPanic, Machine, MachineFault
 
     with open(args.source) as handle:
-        compiled = compile_source(
-            handle.read(), CompileOptions(layout=LayoutStrategy(args.layout))
+        compiled = _compile_for_lang(
+            args.lang,
+            handle.read(),
+            CompileOptions(layout=LayoutStrategy(args.layout)),
         )
     if args.no_run:
         print(compiled.reorg.listing())
@@ -281,10 +342,10 @@ def _batch_jobs(args, parser):
     """The canonical job list for a batch-selection argument set."""
     from .experiments import REGISTRY
     from .farm.job import experiment_jobs, workload_jobs
-    from .workloads import CORPUS, QUICK_PROGRAMS
+    from .workloads import CORPUS, MINIJAVA_CORPUS, QUICK_PROGRAMS
 
     workloads = args.workload or (list(QUICK_PROGRAMS) if not args.experiment else [])
-    bad = [n for n in workloads if n not in CORPUS]
+    bad = [n for n in workloads if n not in CORPUS and n not in MINIJAVA_CORPUS]
     bad += [n for n in args.experiment if n not in REGISTRY]
     if bad:
         parser.error(f"unknown workloads/experiments: {', '.join(bad)}")
@@ -846,13 +907,13 @@ def prof_main(argv=None) -> int:
     from .farm.job import profile_jobs
     from .perf import merge_groups, render_json, validate
     from .perf.claims import render as render_claims
-    from .workloads import QUICK_PROGRAMS
+    from .workloads import MINIJAVA_PROGRAMS, QUICK_PROGRAMS
 
     store = ResultStore(getattr(args, "results", None)) if args.command == "corpus" else None
     try:
         records = Scheduler(jobs=args.jobs, store=store).run(
             profile_jobs(
-                list(QUICK_PROGRAMS),
+                list(QUICK_PROGRAMS) + list(MINIJAVA_PROGRAMS),
                 top=getattr(args, "top", None),
                 engine=getattr(args, "engine", "fast"),
             )
@@ -894,15 +955,21 @@ def _prof_run(args) -> int:
     else:
         from .compiler.codegen_mips import CompileOptions
         from .compiler.driver import compile_source
-        from .workloads import CORPUS
+        from .mjlang import compile_minijava
+        from .workloads import CORPUS, MINIJAVA_CORPUS
 
-        if args.target not in CORPUS:
+        if args.target in MINIJAVA_CORPUS:
+            program = compile_minijava(
+                MINIJAVA_CORPUS[args.target], CompileOptions()
+            ).program
+        elif args.target in CORPUS:
+            program = compile_source(CORPUS[args.target], CompileOptions()).program
+        else:
             print(
                 f"error: {args.target!r} is neither a file nor a corpus workload",
                 file=sys.stderr,
             )
             return 2
-        program = compile_source(CORPUS[args.target], CompileOptions()).program
         name = args.target
 
     machine = Machine(program, hazard_mode=HazardMode(args.mode), inputs=args.input)
@@ -972,11 +1039,11 @@ def fuzz_main(argv=None) -> int:
     run_p.add_argument(
         "--fuzz-mode",
         "--mode",
-        choices=["ast", "words", "both"],
+        choices=["ast", "words", "minijava", "both"],
         default="both",
         dest="fuzz_mode",
-        help="case level: mini-Pascal programs, raw instruction streams, or "
-        "an even/odd interleave of both",
+        help="case level: mini-Pascal programs, raw instruction streams, "
+        "MiniJava programs, or an even/odd interleave of ast and words",
     )
     run_p.add_argument(
         "--batch",

@@ -55,6 +55,7 @@ from ..isa.pieces import (
     JumpIndirect,
     Load,
     LoadImm,
+    LoadLabel,
     MovImm,
     Operand,
     Piece,
@@ -118,6 +119,7 @@ class CompiledUnit:
     constants: List[int]
     needs_mul: bool = False
     needs_div: bool = False
+    needs_alloc: bool = False
     options: Optional[CompileOptions] = None
 
 
@@ -209,6 +211,7 @@ class CodeGenerator:
         self.constants: List[int] = []
         self.needs_mul = False
         self.needs_div = False
+        self.needs_alloc = False
 
         self.global_addrs: Dict[str, int] = {}
         self.globals_words = 0
@@ -341,6 +344,7 @@ class CodeGenerator:
             list(self.constants),
             self.needs_mul,
             self.needs_div,
+            self.needs_alloc,
             self.options,
         )
 
@@ -456,6 +460,17 @@ class CodeGenerator:
                 walk_expr(expr.index)
             elif isinstance(expr, ast.FieldAccess):
                 walk_expr(expr.base)
+            elif isinstance(expr, ast.MemWord):
+                walk_expr(expr.base)
+            elif isinstance(expr, ast.GlobalAddr):
+                # the global's memory address escapes: keep it in memory
+                addressed.add(expr.name)
+            elif isinstance(expr, ast.CallIndirect):
+                walk_expr(expr.target)
+                for arg in expr.args:
+                    walk_expr(arg)
+            elif isinstance(expr, ast.AllocWords):
+                walk_expr(expr.size)
 
         def walk(stmt: Optional[ast.Stmt]) -> None:
             if stmt is None:
@@ -518,6 +533,14 @@ class CodeGenerator:
             elif isinstance(expr, ast.CallExpr):
                 for arg in expr.args:
                     walk_expr(arg, weight)
+            elif isinstance(expr, ast.MemWord):
+                walk_expr(expr.base, weight)
+            elif isinstance(expr, ast.CallIndirect):
+                walk_expr(expr.target, weight)
+                for arg in expr.args:
+                    walk_expr(arg, weight)
+            elif isinstance(expr, ast.AllocWords):
+                walk_expr(expr.size, weight)
 
         def walk(stmt: Optional[ast.Stmt], weight: int) -> None:
             if stmt is None:
@@ -753,6 +776,15 @@ class CodeGenerator:
                 self.temps.release(base.base)
             return Loc(True, ptr, 0, char, owned_base=True)
 
+        if isinstance(expr, ast.MemWord):
+            # heap word: base expression + constant word offset
+            assert expr.base is not None
+            base = self.gen_expr(expr.base)
+            if base.is_const:
+                return Loc(False, None, base.const + expr.offset, False)  # type: ignore[operator]
+            reg = self.val_reg(base)
+            return Loc(False, reg, expr.offset, False, owned_base=base.owned)
+
         raise CompileError(f"not a designator: {expr!r}")
 
     def _byte_element_loc(
@@ -940,7 +972,7 @@ class CodeGenerator:
             reg = self.load_loc(loc)
             self.free_loc(loc)
             return Val(reg=reg, owned=True)
-        if isinstance(expr, (ast.Index, ast.FieldAccess)):
+        if isinstance(expr, (ast.Index, ast.FieldAccess, ast.MemWord)):
             loc = self.resolve_loc(expr)
             reg = self.load_loc(loc)
             self.free_loc(loc)
@@ -951,6 +983,18 @@ class CodeGenerator:
             return self._gen_binop(expr)
         if isinstance(expr, ast.CallExpr):
             return self._gen_call_expr(expr)
+        if isinstance(expr, ast.LabelAddr):
+            out = self.temps.alloc()
+            self.emit(LoadLabel(expr.label, out))
+            return Val(reg=out, owned=True)
+        if isinstance(expr, ast.GlobalAddr):
+            addr = self.global_addrs[expr.name]
+            self.use_constant(addr)
+            return Val(const=addr)
+        if isinstance(expr, ast.CallIndirect):
+            return self._gen_call_indirect(expr)
+        if isinstance(expr, ast.AllocWords):
+            return self._gen_alloc(expr)
         raise CompileError(f"unhandled expression {expr!r}")
 
     def _gen_unop(self, expr: ast.UnOp) -> Val:
@@ -1245,6 +1289,56 @@ class CodeGenerator:
         self._restore_spilled(spilled)
         if not want_result:
             return Val(const=0)
+        out = self.temps.alloc()
+        self.emit(Alu(AluOp.MOV, RESULT_REG, Imm(0), out))
+        return Val(reg=out, owned=True)
+
+    def _gen_call_indirect(self, expr: ast.CallIndirect) -> Val:
+        """Call through a computed code address (MiniJava vtable dispatch).
+
+        Same frame protocol as :meth:`gen_call` -- arguments pushed
+        right to left, callee sees arg0 deepest -- but the transfer is
+        a linking indirect jump through a register instead of a direct
+        ``jal``.
+        """
+        assert expr.target is not None
+        spilled = self._spill_live_temps(keep=[])
+        for arg in reversed(expr.args):
+            value = self.gen_expr(arg)
+            reg = self.val_reg(value)
+            self.emit(Alu(AluOp.SUB, SP, Imm(1), SP))
+            self.emit(Store(Displacement(SP, 0), reg, note="store:32:word"))
+            self.free_val(value)
+        target = self.gen_expr(expr.target)
+        target_reg = self.val_reg(target)
+        self.emit(JumpIndirect(target_reg, link=True))
+        self.free_val(target)
+        nargs = len(expr.args)
+        if nargs:
+            if fits_imm4(nargs):
+                self.emit(Alu(AluOp.ADD, SP, Imm(nargs), SP))
+            else:
+                temp = self.materialize_const(nargs)
+                self.emit(Alu(AluOp.ADD, SP, temp, SP))
+                self.temps.release(temp)
+        self._restore_spilled(spilled)
+        out = self.temps.alloc()
+        self.emit(Alu(AluOp.MOV, RESULT_REG, Imm(0), out))
+        return Val(reg=out, owned=True)
+
+    def _gen_alloc(self, expr: ast.AllocWords) -> Val:
+        """Bump-allocate ``size`` words via the ``__alloc`` runtime routine."""
+        assert expr.size is not None
+        self.needs_alloc = True
+        size = self.gen_expr(expr.size)
+        size_reg = self.val_reg(size)
+        spilled = self._spill_live_temps(keep=[])
+        if size_reg.number != 2:
+            self.emit(Alu(AluOp.MOV, size_reg, Imm(0), Reg(2)))
+        self.free_val(size)
+        self.emit(Jump("__alloc", link=True))
+        # block base comes back in r1, which is never spilled
+        self._restore_spilled(spilled)
         out = self.temps.alloc()
         self.emit(Alu(AluOp.MOV, RESULT_REG, Imm(0), out))
         return Val(reg=out, owned=True)

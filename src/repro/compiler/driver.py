@@ -43,7 +43,7 @@ def compile_checked(
     """Compile an already-analyzed program."""
     unit = generate(checked, options)
     stream: List[LabeledPiece] = list(unit.stream)
-    stream.extend(runtime_stream(unit.needs_mul, unit.needs_div))
+    stream.extend(runtime_stream(unit.needs_mul, unit.needs_div, unit.needs_alloc))
     result = reorganize(stream, opt_level)
     program = result.to_program(entry_symbol="start")
     return CompiledProgram(checked, unit, result, program)
@@ -69,5 +69,5 @@ def piece_stream(
     unit = generate(analyze(source), options)
     stream = list(unit.stream)
     if with_runtime:
-        stream.extend(runtime_stream(unit.needs_mul, unit.needs_div))
+        stream.extend(runtime_stream(unit.needs_mul, unit.needs_div, unit.needs_alloc))
     return stream

@@ -11,6 +11,14 @@ synthesized in software).  The compiler calls these routines:
     ``r1 := r2 div r3`` (truncating toward zero, Pascal semantics) and
     ``r4 := r2 mod r3`` (sign follows the dividend).  Clobbers
     ``r5``-``r7``.  Division by zero raises ``trap #5``.
+``__alloc``
+    ``r1 := base of a fresh r2-word block`` -- the MiniJava front end's
+    bump allocator (objects, vtv-pointed records, int arrays).  The
+    next-free pointer lives at word ``HEAP_POINTER_ADDR`` and is lazily
+    initialized on first use; physical memory starts zeroed and blocks
+    are never reused, so every allocation is implicitly zero-filled.
+    Exhausting the arena raises ``trap #6`` (a structured machine
+    fault, like division's ``trap #5``).  Clobbers ``r3``-``r5``.
 
 Calling convention: arguments in ``r2``/``r3``, ``jal`` links through
 ``ra``; the routines use no stack.  The sources below are *piece
@@ -72,6 +80,32 @@ __dm_7:     and r7, #2, r5
 __dm_8:     jmpr ra
 """
 
+# Heap layout for the bump allocator.  The compiler places globals from
+# word 8192 up; the arena sits above them and well below the default
+# stack top ((1 << 20) - 1, growing down).  The pointer word holds the
+# next free word address, 0 until the first allocation (fresh physical
+# memory is zeroed), so no startup code is needed to initialize it.
+HEAP_POINTER_ADDR = 16384
+HEAP_BASE = HEAP_POINTER_ADDR + 1
+HEAP_LIMIT = 1 << 19
+
+#: trap code raised when the arena is exhausted (no handler: the
+#: machine surfaces it as a TrapInstruction fault on every engine)
+TRAP_HEAP_EXHAUSTED = 6
+
+ALLOC_SOURCE = f"""
+__alloc:    ld @{HEAP_POINTER_ADDR}, r3
+            bne r3, #0, __al_0
+            lim #{HEAP_BASE}, r3
+__al_0:     add r3, r2, r4
+            lim #{HEAP_LIMIT}, r5
+            bgt r4, r5, __al_1
+            st r4, @{HEAP_POINTER_ADDR}
+            mov r3, r1
+            jmpr ra
+__al_1:     trap #{TRAP_HEAP_EXHAUSTED}
+"""
+
 # Multiprecision arithmetic without carry bits (paper section 2.3.3):
 # "multiprecision arithmetic can be synthesized with 31-bit words."
 # Numbers are limb vectors, each limb holding 31 value bits; the carry
@@ -112,6 +146,7 @@ __mpsub:    sub r3, r5, r6
 CLOBBERS = {
     "__mul": {1, 2, 3, 4},
     "__divmod": {1, 2, 3, 4, 5, 6, 7},
+    "__alloc": {1, 2, 3, 4, 5},
     "__mpadd": {1, 2, 6, 7},
     "__mpsub": {1, 2, 6, 7},
 }
@@ -122,13 +157,17 @@ def multiprec_stream() -> List[LabeledPiece]:
     return assemble_pieces(MPADD_SOURCE + MPSUB_SOURCE)
 
 
-def runtime_stream(need_mul: bool, need_div: bool) -> List[LabeledPiece]:
+def runtime_stream(
+    need_mul: bool, need_div: bool, need_alloc: bool = False
+) -> List[LabeledPiece]:
     """The piece stream of the required runtime routines."""
     source = ""
     if need_mul:
         source += MUL_SOURCE
     if need_div:
         source += DIVMOD_SOURCE
+    if need_alloc:
+        source += ALLOC_SOURCE
     if not source:
         return []
     return assemble_pieces(source)

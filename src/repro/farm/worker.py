@@ -157,18 +157,25 @@ def _build_machine(job: Mapping[str, Any], program):
 def _compile_workload(job: Mapping[str, Any]):
     from ..compiler.codegen_mips import CompileOptions
     from ..compiler.driver import compile_source
+    from ..mjlang import compile_minijava
     from ..reorg.reorganizer import OptLevel
-    from ..workloads import CORPUS
+    from ..workloads import CORPUS, MINIJAVA_CORPUS
 
     spec = job.get("spec", {})
-    if job["kind"] == "workload":
-        source = CORPUS[job["name"]]
-    else:
-        source = spec["source"]
     options = CompileOptions(
         register_allocation=spec.get("register_allocation", True),
     )
-    return compile_source(source, options, opt_level=OptLevel(job.get("opt_level", "branch-delay")))
+    opt_level = OptLevel(job.get("opt_level", "branch-delay"))
+    if job["kind"] == "workload":
+        # Named workloads dispatch by registry: the MiniJava corpus is
+        # disjoint from the mini-Pascal one, so names stay unambiguous
+        # and existing job keys are unchanged.
+        if job["name"] in MINIJAVA_CORPUS:
+            return compile_minijava(MINIJAVA_CORPUS[job["name"]], options, opt_level)
+        source = CORPUS[job["name"]]
+    else:
+        source = spec["source"]
+    return compile_source(source, options, opt_level=opt_level)
 
 
 def _attach_profiler(job: Mapping[str, Any], machine):

@@ -20,9 +20,23 @@ with byte-identical records at any parallelism.
 """
 
 from .batch import DEFAULT_BATCH, batch_ranges, run_batch
-from .case import MODE_AST, MODE_BOTH, MODE_WORDS, MODES, FuzzCase, make_case
+from .case import (
+    MODE_AST,
+    MODE_BOTH,
+    MODE_MINIJAVA,
+    MODE_WORDS,
+    MODES,
+    FuzzCase,
+    make_case,
+)
 from .minimize import minimize_case
-from .oracle import CheckResult, check_ast_source, check_case, check_word_source
+from .oracle import (
+    CheckResult,
+    check_ast_source,
+    check_case,
+    check_minijava_source,
+    check_word_source,
+)
 
 __all__ = [
     "DEFAULT_BATCH",
@@ -30,6 +44,7 @@ __all__ = [
     "run_batch",
     "MODE_AST",
     "MODE_BOTH",
+    "MODE_MINIJAVA",
     "MODE_WORDS",
     "MODES",
     "FuzzCase",
@@ -38,5 +53,6 @@ __all__ = [
     "CheckResult",
     "check_ast_source",
     "check_case",
+    "check_minijava_source",
     "check_word_source",
 ]

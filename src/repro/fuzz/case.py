@@ -13,12 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Sequence
 
-from . import astgen, wordgen
+from . import astgen, mjgen, wordgen
 
 MODE_AST = "ast"
 MODE_WORDS = "words"
+MODE_MINIJAVA = "minijava"
 MODE_BOTH = "both"
-MODES = (MODE_AST, MODE_WORDS, MODE_BOTH)
+MODES = (MODE_AST, MODE_WORDS, MODE_MINIJAVA, MODE_BOTH)
 
 
 @dataclass
@@ -54,7 +55,7 @@ def case_mode(mode: str, index: int) -> str:
     """
     if mode == MODE_BOTH:
         return MODE_AST if index % 2 == 0 else MODE_WORDS
-    if mode not in (MODE_AST, MODE_WORDS):
+    if mode not in (MODE_AST, MODE_WORDS, MODE_MINIJAVA):
         raise ValueError(f"unknown fuzz mode {mode!r} (have {', '.join(MODES)})")
     return mode
 
@@ -69,6 +70,15 @@ def make_case(seed: int, index: int, mode: str) -> FuzzCase:
             return astgen.render_ast_case(index, routines, prefix)
 
         return FuzzCase(seed, index, concrete, render(units), list(units), render)
+    if concrete == MODE_MINIJAVA:
+        fixed, mj_units = mjgen.generate_minijava_program(seed, index)
+
+        def render_mj(prefix: Sequence) -> str:
+            return mjgen.render_minijava_case(index, fixed, prefix)
+
+        return FuzzCase(
+            seed, index, concrete, render_mj(mj_units), list(mj_units), render_mj
+        )
     units = wordgen.generate_word_units(seed, index)
     return FuzzCase(
         seed,

@@ -1,0 +1,289 @@
+"""Seeded structured generation of valid MiniJava programs.
+
+The MiniJava analogue of :mod:`repro.fuzz.astgen`: every case is a
+pure function of ``(seed, index)``, rendered to source text that is
+valid by construction, halts by construction, and exercises what the
+second front end adds to the pipeline -- heap allocation, vtable
+dispatch through an inheritance chain, overrides, field mutation
+through ``this``, and ``int[]`` traffic.
+
+Termination and well-definedness are structural:
+
+- every generated class ``A <- B <- C`` numbers its methods ``m0..m2``
+  and any ``mK`` body only calls strictly lower-numbered methods, so
+  the dispatch graph is acyclic in every dynamic combination of
+  overrides;
+- loops count down a dedicated counter the loop body never touches;
+- division and modulus always use nonzero literal divisors;
+- array indices are range-wrapped ``((e % len) + len) % len``.
+
+The fixed prologue (object construction, array allocation, variable
+seeding) and the probe epilogue are part of the rendering, not of the
+shrinkable unit list, so **any** prefix of the units is a complete,
+valid, halting program -- the property the minimizer relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+INT_LOCALS = ("va", "vb", "vc")
+OBJ_LOCALS = ("oa", "ob", "oc")
+ARRAY_NAME = "arr"
+ARRAY_LEN = 8
+COUNTER = "wa"
+METHODS = ("m0", "m1", "m2")
+
+#: constants straddling the immediate encodings (the 4-bit operand
+#: constant, the 8-bit movi, the 21-bit long immediate, the word edge)
+EDGE_VALUES = (
+    0, 1, 2, 3, 7, 8, 15, 16, 17, 31, 32, 100, 127, 128, 255, 256, 257,
+    1000, 32767, 32768, 65535, 65536, 1048575, 1048576, 2097152,
+    2147483645, 2147483647,
+    -1, -2, -7, -8, -15, -16, -100, -128, -255, -256, -32768, -65536,
+)
+
+#: nonzero literal divisors (positive only: '%' on negatives is our
+#: dialect's 'mod', which the differential oracle checks for identity,
+#: not against Java)
+DIVISORS = (2, 3, 5, 7, 8, 10, 16, 100)
+
+
+def _lit(value: int) -> str:
+    """MiniJava has no negative literals; render them as ``(0 - n)``."""
+    return f"(0 - {-value})" if value < 0 else str(value)
+
+
+def _wrapped_index(expr: str) -> str:
+    return f"((({expr}) % {ARRAY_LEN}) + {ARRAY_LEN}) % {ARRAY_LEN}"
+
+
+class MjGenerator:
+    """One generated program: three fixed-shape classes, random meat."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.class_lines = self._gen_classes()
+
+    # -- expressions -------------------------------------------------------
+
+    def int_lit(self) -> str:
+        rng = self.rng
+        if rng.random() < 0.5:
+            return _lit(rng.choice(EDGE_VALUES))
+        return str(rng.randrange(0, 100))
+
+    def int_expr(
+        self,
+        depth: int,
+        scope: Sequence[str],
+        *,
+        arrays: bool = False,
+        dispatch: Sequence[Tuple[str, Sequence[str]]] = (),
+    ) -> str:
+        """A terminating integer expression over ``scope``.
+
+        ``dispatch`` lists ``(receiver, callable method names)`` pairs;
+        nested call arguments never dispatch again, bounding depth.
+        """
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.3:
+            roll = rng.random()
+            if roll < 0.4 or not scope:
+                return self.int_lit()
+            if roll < 0.8 or (not arrays and not dispatch):
+                return rng.choice(list(scope))
+            if dispatch and (not arrays or rng.random() < 0.5):
+                receiver, names = rng.choice(list(dispatch))
+                arg = self.int_expr(1, scope)
+                return f"{receiver}.{rng.choice(list(names))}({arg})"
+            index = _wrapped_index(self.int_expr(1, scope))
+            return f"{ARRAY_NAME}[{index}]"
+        op = rng.choice(("+", "-", "*", "/", "%", "+", "-"))
+        left = self.int_expr(depth - 1, scope, arrays=arrays, dispatch=dispatch)
+        if op in ("/", "%"):
+            right = str(rng.choice(DIVISORS))
+        else:
+            right = self.int_expr(depth - 1, scope, arrays=arrays, dispatch=dispatch)
+        return f"({left} {op} {right})"
+
+    def bool_expr(self, depth: int, scope: Sequence[str]) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.5:
+            op = rng.choice(("==", "!=", "<", "<=", ">", ">="))
+            return f"({self.int_expr(1, scope)} {op} {self.int_expr(1, scope)})"
+        roll = rng.random()
+        if roll < 0.4:
+            return f"({self.bool_expr(depth - 1, scope)} && {self.bool_expr(depth - 1, scope)})"
+        if roll < 0.8:
+            return f"({self.bool_expr(depth - 1, scope)} || {self.bool_expr(depth - 1, scope)})"
+        return f"(!{self.bool_expr(depth - 1, scope)})"
+
+    # -- the class hierarchy -----------------------------------------------
+
+    def _method_body(self, index: int, fields: Sequence[str]) -> List[str]:
+        """``mK``: optional field write, then a return that may call
+        strictly lower-numbered methods through ``this``."""
+        rng = self.rng
+        scope = list(fields) + ["x"]
+        callable_below = [("this", METHODS[:index])] if index > 0 else []
+        lines = []
+        if rng.random() < 0.4:
+            target = rng.choice(list(fields))
+            lines.append(f"        {target} = {self.int_expr(1, scope)};")
+        value = self.int_expr(2, scope, dispatch=callable_below)
+        lines.append(f"        return {value};")
+        return lines
+
+    def _gen_classes(self) -> List[str]:
+        rng = self.rng
+        lines: List[str] = []
+        # class A: the dispatch interface everything is typed against
+        lines.append("class A {")
+        lines.append("    int f0;")
+        lines.append("    int f1;")
+        lines.append("    public A seed(int v) {")
+        lines.append(f"        f0 = {self.int_expr(1, ['v'])};")
+        lines.append(f"        f1 = {self.int_expr(1, ['v', 'f0'])};")
+        lines.append("        return this;")
+        lines.append("    }")
+        lines.append("    public int bump(int v) {")
+        lines.append(f"        f0 = f0 + {self.int_expr(1, ['v', 'f1'])};")
+        lines.append("        return f0;")
+        lines.append("    }")
+        lines.append("    public int probe() {")
+        lines.append(
+            "        return "
+            f"{self.int_expr(2, ['f0', 'f1'], dispatch=[('this', METHODS)])};"
+        )
+        lines.append("    }")
+        for index, name in enumerate(METHODS):
+            lines.append(f"    public int {name}(int x) {{")
+            lines.extend(self._method_body(index, ("f0", "f1")))
+            lines.append("    }")
+        lines.append("}")
+        # subclasses override a random subset with fresh bodies
+        for cls, parent, fields in (
+            ("B", "A", ("f0", "f1", "f2")),
+            ("C", "B", ("f0", "f1", "f2")),
+        ):
+            lines.append(f"class {cls} extends {parent} {{")
+            if cls == "B":
+                lines.append("    int f2;")
+            overridden = [m for m in METHODS if rng.random() < 0.5]
+            for name in overridden:
+                index = METHODS.index(name)
+                lines.append(f"    public int {name}(int x) {{")
+                lines.extend(self._method_body(index, fields))
+                lines.append("    }")
+            if rng.random() < 0.5:
+                lines.append("    public int probe() {")
+                lines.append(
+                    "        return "
+                    f"{self.int_expr(2, list(fields), dispatch=[('this', METHODS)])};"
+                )
+                lines.append("    }")
+            lines.append("}")
+        return lines
+
+    # -- main-body statement units -----------------------------------------
+
+    def statement(self, depth: int) -> List[str]:
+        rng = self.rng
+        scope = list(INT_LOCALS)
+        # every listed method takes one int argument; the no-arg probe()
+        # is exercised by the epilogue instead
+        dispatch = [(obj, METHODS + ("bump",)) for obj in OBJ_LOCALS]
+        roll = rng.random() if depth > 0 else 0.0
+        if roll < 0.35:
+            target = rng.choice(INT_LOCALS)
+            value = self.int_expr(2, scope, arrays=True, dispatch=dispatch)
+            return [f"{target} = {value};"]
+        if roll < 0.5:
+            index = _wrapped_index(self.int_expr(1, scope))
+            value = self.int_expr(2, scope, arrays=True, dispatch=dispatch)
+            return [f"{ARRAY_NAME}[{index}] = {value};"]
+        if roll < 0.65:
+            cond = self.bool_expr(2, scope)
+            then_body = self.statement(depth - 1)
+            else_body = self.statement(depth - 1) if rng.random() < 0.6 else None
+            lines = [f"if ({cond}) {{"] + [f"    {s}" for s in then_body]
+            if else_body is None:
+                return lines + ["}"]
+            return lines + ["} else {"] + [f"    {s}" for s in else_body] + ["}"]
+        if roll < 0.78:
+            bound = rng.randrange(1, 7)
+            inner = self.statement(0)  # loop bodies never loop again
+            return (
+                [f"{COUNTER} = {bound};", f"while (0 < {COUNTER}) {{"]
+                + [f"    {s}" for s in inner]
+                + [f"    {COUNTER} = {COUNTER} - 1;", "}"]
+            )
+        if roll < 0.88:
+            value = self.int_expr(2, scope, arrays=True, dispatch=dispatch)
+            return [f"System.out.println({value});"]
+        # object churn: repoint a local at a fresh instance
+        target = rng.choice(OBJ_LOCALS)
+        cls = rng.choice(("A", "B", "C"))
+        return [f"{target} = new {cls}().seed({self.int_expr(1, scope)});"]
+
+
+def _prologue(rng: random.Random) -> List[str]:
+    lines = [
+        f"{OBJ_LOCALS[0]} = new A().seed({_lit(rng.choice(EDGE_VALUES))});",
+        f"{OBJ_LOCALS[1]} = new B().seed({_lit(rng.choice(EDGE_VALUES))});",
+        f"{OBJ_LOCALS[2]} = new C().seed({_lit(rng.choice(EDGE_VALUES))});",
+        f"{ARRAY_NAME} = new int[{ARRAY_LEN}];",
+        f"{COUNTER} = 0;",
+    ]
+    lines.extend(f"{name} = {_lit(rng.choice(EDGE_VALUES))};" for name in INT_LOCALS)
+    return lines
+
+
+def _epilogue() -> List[str]:
+    """Write back every observable -- locals, per-object probes, the
+    array -- so engines and levels are compared on real state."""
+    lines = [f"System.out.println({name});" for name in INT_LOCALS]
+    lines.extend(f"System.out.println({obj}.probe());" for obj in OBJ_LOCALS)
+    lines.extend(
+        f"System.out.println({ARRAY_NAME}[{k}]);" for k in range(ARRAY_LEN)
+    )
+    return lines
+
+
+def generate_minijava_program(seed: int, index: int) -> Tuple[List[str], List[List[str]]]:
+    """The deterministic (fixed lines, statement units) for one case.
+
+    The fixed part carries the class declarations and the prologue; the
+    unit list is the shrinkable middle of ``main``.  Render any prefix
+    with :func:`render_minijava_case`.
+    """
+    rng = random.Random((seed * 1_000_003 + index) ^ 0x3A7A11)
+    gen = MjGenerator(rng)
+    prologue = _prologue(rng)
+    units = [gen.statement(2) for _ in range(rng.randrange(3, 9))]
+    return gen.class_lines + ["@@PROLOGUE@@"] + prologue, units
+
+
+def render_minijava_case(
+    index: int, fixed: Sequence[str], units: Sequence[Sequence[str]]
+) -> str:
+    """Render a (possibly shrunk) unit list as a complete program."""
+    split = list(fixed).index("@@PROLOGUE@@")
+    class_lines, prologue = list(fixed[:split]), list(fixed[split + 1 :])
+    lines = [f"class Fuzz{index} {{", "    public static void main(String[] s) {"]
+    lines.extend(f"        A {obj};" for obj in OBJ_LOCALS)
+    lines.extend(f"        int {name};" for name in INT_LOCALS)
+    lines.append(f"        int[] {ARRAY_NAME};")
+    lines.append(f"        int {COUNTER};")
+    for stmt in prologue:
+        lines.append(f"        {stmt}")
+    for unit in units:
+        lines.extend(f"        {line}" for line in unit)
+    for stmt in _epilogue():
+        lines.append(f"        {stmt}")
+    lines.append("    }")
+    lines.append("}")
+    lines.extend(class_lines)
+    return "\n".join(lines) + "\n"

@@ -268,6 +268,73 @@ def check_ast_source(
     return result
 
 
+def check_minijava_source(
+    source: str,
+    *,
+    seed: int = 0,
+    index: int = 0,
+    max_steps: int = 2_000_000,
+    chaos: bool = False,
+) -> CheckResult:
+    """The oracle for one MiniJava source text.
+
+    Same contract as :func:`check_ast_source` -- every optimization
+    level, all three engines, bit-identical observations per level and
+    identical output across levels, plus the sampled chaos schedule.
+    The CC-baseline leg is skipped: the CC machine compiles only
+    mini-Pascal, so there is no ground-truth CC image to compare.
+    """
+    from ..mjlang import compile_minijava
+    from ..reorg.reorganizer import OptLevel
+
+    result = CheckResult(mode="minijava")
+    outputs: Dict[str, Any] = {}
+    chaos_program = None
+    for level in OPT_LEVELS:
+        try:
+            compiled = compile_minijava(source, opt_level=OptLevel(level))
+        except Exception as exc:
+            result.status = "error"
+            result.observations[level] = {"compile_error": _error_info(exc)}
+            result.diverge("compile", {"level": level, "error": _error_info(exc)})
+            return result
+        per_engine = {
+            engine: _observe(compiled.program, engine, max_steps, source)
+            for engine in ENGINES
+        }
+        _compare_engines(result, level, per_engine)
+        reference = per_engine[ENGINES[0]]
+        if reference["status"] != "ok":
+            result.diverge(
+                "minijava-outcome",
+                {"level": level, "status": reference["status"],
+                 "error": reference["error"]},
+            )
+        outputs[level] = {
+            "output": reference["output"],
+            "output_text": reference["output_text"],
+        }
+        result.observations[level] = {
+            "fingerprint": reference["fingerprint"],
+            "cycles": reference["stats"]["cycles"],
+            "words": reference["stats"]["words"],
+            **outputs[level],
+        }
+        if level == "branch-delay":
+            chaos_program = compiled.program
+    baseline = outputs[OPT_LEVELS[0]]
+    for level in OPT_LEVELS[1:]:
+        if outputs[level] != baseline:
+            result.diverge(
+                "opt-level", {"levels": [OPT_LEVELS[0], level],
+                              "outputs": [baseline, outputs[level]]}
+            )
+    result.observations["cc"] = {"skipped": "minijava has no CC baseline"}
+    if chaos and chaos_program is not None:
+        _check_chaos(result, chaos_program, seed, index, max_steps)
+    return result
+
+
 def check_word_source(source: str, *, max_steps: int = 200_000) -> CheckResult:
     """The oracle for one raw instruction stream."""
     from ..asm.assembler import assemble
@@ -299,6 +366,14 @@ def check_case(case, *, max_steps: int = 2_000_000) -> CheckResult:
     """Dispatch a :class:`~repro.fuzz.case.FuzzCase` to its oracle."""
     if case.mode == "ast":
         return check_ast_source(
+            case.source,
+            seed=case.seed,
+            index=case.index,
+            max_steps=max_steps,
+            chaos=case.index % CHAOS_SAMPLE == 0,
+        )
+    if case.mode == "minijava":
+        return check_minijava_source(
             case.source,
             seed=case.seed,
             index=case.index,

@@ -187,6 +187,27 @@ class LoadImm(Piece):
         return f"lim #{self.value},{self.dst!r}"
 
 
+@dataclass(frozen=True)
+class LoadLabel(Piece):
+    """Symbolic long-immediate: the address of a code label into a register.
+
+    This is how the compiler takes the address of a routine entry (the
+    MiniJava front end fills vtables with method addresses) before the
+    layout is known.  The reorganizer resolves it to a plain
+    :class:`LoadImm` once label addresses are assigned; it never
+    survives into an encoded program image.
+    """
+
+    label: str
+    dst: Reg
+
+    def writes(self) -> FrozenSet[Reg]:
+        return frozenset({self.dst})
+
+    def __repr__(self) -> str:
+        return f"lim {self.label},{self.dst!r}"
+
+
 # --------------------------------------------------------------------------
 # addressing modes (the five load/store types of section 2.2)
 # --------------------------------------------------------------------------

@@ -100,6 +100,65 @@ class CallExpr(Expr):
 
 
 # ---------------------------------------------------------------------------
+# lowering expressions
+#
+# These nodes are never produced by the mini-Pascal parser.  They are
+# the small "typed machine" vocabulary a second front end (the MiniJava
+# lowering in repro.mjlang) uses to express heap records, vtables, and
+# indirect calls while still flowing through the one shared checker and
+# code generator.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MemWord(Expr):
+    """The word at word-address ``base + offset`` (load or store).
+
+    ``value_type`` names the scalar the word holds ('integer' or
+    'boolean'); heap words are untyped storage, so the producer states
+    the type instead of the checker inferring one.
+    """
+
+    base: Optional[Expr] = None
+    offset: int = 0
+    value_type: str = "integer"
+
+
+@dataclass
+class LabelAddr(Expr):
+    """The code address of a routine entry label (fills vtable slots)."""
+
+    label: str = ""
+
+
+@dataclass
+class GlobalAddr(Expr):
+    """The word address of a global variable (a vtable base)."""
+
+    name: str = ""
+
+
+@dataclass
+class CallIndirect(Expr):
+    """Call through a computed code address (dynamic dispatch).
+
+    Arguments are always by-value; ``value_type`` names the result
+    scalar ('integer' or 'boolean').
+    """
+
+    target: Optional[Expr] = None
+    args: List[Expr] = field(default_factory=list)
+    value_type: str = "integer"
+
+
+@dataclass
+class AllocWords(Expr):
+    """A fresh ``size``-word zeroed heap block's base address."""
+
+    size: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
 # statements
 # ---------------------------------------------------------------------------
 

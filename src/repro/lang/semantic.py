@@ -350,7 +350,42 @@ class Checker:
             raise SemanticError(f"unknown operator {expr.op!r}", expr.line)
         if isinstance(expr, ast.CallExpr):
             return self.check_call(expr.name, expr.args, expr.line, statement=False)
+        # lowering nodes (produced by repro.mjlang, never by the parser)
+        if isinstance(expr, ast.MemWord):
+            assert expr.base is not None
+            if self.check_expr(expr.base) != INTEGER:
+                raise SemanticError("memory word base must be integer", expr.line)
+            return self._scalar_for(expr.value_type, expr.line)
+        if isinstance(expr, ast.LabelAddr):
+            return INTEGER
+        if isinstance(expr, ast.GlobalAddr):
+            if expr.name not in self.globals:
+                raise SemanticError(f"no global {expr.name!r}", expr.line)
+            return INTEGER
+        if isinstance(expr, ast.CallIndirect):
+            assert expr.target is not None
+            if self.check_expr(expr.target) != INTEGER:
+                raise SemanticError("indirect-call target must be integer", expr.line)
+            for arg in expr.args:
+                if not self.check_expr(arg).is_scalar:
+                    raise SemanticError(
+                        "indirect-call arguments must be scalars", expr.line
+                    )
+            return self._scalar_for(expr.value_type, expr.line)
+        if isinstance(expr, ast.AllocWords):
+            assert expr.size is not None
+            if self.check_expr(expr.size) != INTEGER:
+                raise SemanticError("allocation size must be integer", expr.line)
+            return INTEGER
         raise SemanticError(f"unhandled expression {expr!r}", expr.line)
+
+    @staticmethod
+    def _scalar_for(name: str, line: int) -> Type:
+        if name == "integer":
+            return INTEGER
+        if name == "boolean":
+            return BOOLEAN
+        raise SemanticError(f"bad lowering value type {name!r}", line)
 
     def check_call(
         self, name: str, args: List[ast.Expr], line: int, statement: bool

@@ -1,0 +1,48 @@
+"""The MiniJava front end.
+
+A second source language for the one shared back end: MiniJava classes
+become record layouts with vtable pointers, methods become routines
+with an explicit ``this`` parameter, ``new``/field access become heap
+operations over the runtime's bump allocator, and dynamic dispatch
+becomes an indirect call through a per-class vtable.  The lowering
+targets the same typed program form (:class:`repro.lang.semantic.
+CheckedProgram`) the mini-Pascal front end produces, so every opt
+level, engine, and analysis downstream of the checker serves both
+languages unchanged.
+
+Pipeline: ``tokenize`` -> ``parse`` -> ``check`` (class table, types)
+-> ``lower`` (CheckedProgram) -> ``repro.compiler.driver.
+compile_checked`` -> program image.
+"""
+
+from .errors import MiniJavaError
+from .lexer import tokenize
+from .lower import lower
+from .parser import parse
+from .semantic import CheckedMiniJava, check
+
+__all__ = [
+    "CheckedMiniJava",
+    "MiniJavaError",
+    "analyze_minijava",
+    "check",
+    "compile_minijava",
+    "lower",
+    "parse",
+    "tokenize",
+]
+
+
+def analyze_minijava(source: str):
+    """MiniJava source text to a checked mini-Pascal-form program."""
+    return lower(check(parse(source)))
+
+
+def compile_minijava(source: str, options=None, opt_level=None):
+    """Compile MiniJava source text down to a program image."""
+    from ..compiler.driver import compile_checked
+    from ..reorg.reorganizer import OptLevel
+
+    if opt_level is None:
+        opt_level = OptLevel.BRANCH_DELAY
+    return compile_checked(analyze_minijava(source), options, opt_level)

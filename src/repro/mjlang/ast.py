@@ -1,0 +1,213 @@
+"""Abstract syntax for MiniJava (mirrors :mod:`repro.lang.ast`).
+
+The shapes follow classic MiniJava: one main class, then ordinary
+classes with fields and methods, single inheritance, ``int``/
+``boolean``/``int[]``/class-reference types, and a single trailing
+``return`` per method.  Small ergonomic extensions over the textbook
+grammar: ``||``, ``%``, ``else``-less ``if``, and local variable
+declarations in ``main``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+# ---------------------------------------------------------------------------
+# type expressions (syntactic; resolved by the checker)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntType:
+    pass
+
+
+@dataclass(frozen=True)
+class BoolType:
+    pass
+
+
+@dataclass(frozen=True)
+class IntArrayType:
+    pass
+
+
+@dataclass(frozen=True)
+class ClassType:
+    name: str
+
+
+TypeExpr = Union[IntType, BoolType, IntArrayType, ClassType]
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class This(Expr):
+    pass
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""  # && || == != < <= > >= + - * / %
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class UnOp(Expr):
+    op: str = ""  # ! -
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class ArrayIndex(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Length(Expr):
+    base: Optional[Expr] = None
+
+
+@dataclass
+class MethodCall(Expr):
+    receiver: Optional[Expr] = None
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewObject(Expr):
+    class_name: str = ""
+
+
+@dataclass
+class NewArray(Expr):
+    size: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_branch: Optional[Stmt] = None
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Println(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    name: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ArrayAssign(Stmt):
+    name: str = ""
+    index: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VarDecl:
+    name: str
+    type_expr: TypeExpr
+    line: int = 0
+
+
+@dataclass
+class Param:
+    name: str
+    type_expr: TypeExpr
+    line: int = 0
+
+
+@dataclass
+class MethodDecl:
+    name: str
+    params: List[Param]
+    result_type: TypeExpr
+    local_vars: List[VarDecl]
+    body: List[Stmt]
+    result: Expr
+    line: int = 0
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    superclass: Optional[str]
+    fields: List[VarDecl]
+    methods: List[MethodDecl]
+    line: int = 0
+
+
+@dataclass
+class MainClass:
+    name: str
+    arg_name: str
+    local_vars: List[VarDecl]
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Program:
+    main: MainClass
+    classes: List[ClassDecl]

@@ -1,0 +1,13 @@
+"""Shared error type for the MiniJava front end."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MiniJavaError(Exception):
+    """A scan, parse, or semantic error in a MiniJava compilation."""
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)

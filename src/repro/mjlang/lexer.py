@@ -1,0 +1,118 @@
+"""The MiniJava scanner (mirrors :mod:`repro.lang.lexer`).
+
+Case-sensitive identifiers, ``//`` and ``/* */`` comments, the
+two-character operators ``&&``/``==``/``!=``/``<=``/``>=`` (``||`` is
+the one common extension we keep), decimal integer literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from .errors import MiniJavaError
+
+
+class Kind(Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    OP = "op"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "boolean",
+        "class",
+        "else",
+        "extends",
+        "false",
+        "if",
+        "int",
+        "length",
+        "main",
+        "new",
+        "public",
+        "return",
+        "static",
+        "String",
+        "System",
+        "this",
+        "true",
+        "void",
+        "while",
+    }
+)
+
+_TWO_CHAR_OPS = ("&&", "||", "==", "!=", "<=", ">=")
+_ONE_CHAR_OPS = "+-*/%<>=!()[]{};.,"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: Kind
+    text: str
+    line: int
+    value: int = 0
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is Kind.KEYWORD and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind is Kind.OP and self.text == op
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            while pos < length and source[pos] != "\n":
+                pos += 1
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise MiniJavaError("unterminated comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            while pos < length and source[pos].isdigit():
+                pos += 1
+            text = source[start:pos]
+            tokens.append(Token(Kind.NUMBER, text, line, value=int(text)))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = Kind.KEYWORD if text in KEYWORDS else Kind.IDENT
+            tokens.append(Token(kind, text, line))
+            continue
+        two = source[pos : pos + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(Kind.OP, two, line))
+            pos += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(Kind.OP, ch, line))
+            pos += 1
+            continue
+        raise MiniJavaError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(Kind.EOF, "", line))
+    return tokens

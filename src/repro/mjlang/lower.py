@@ -1,0 +1,392 @@
+"""Lowering: checked MiniJava to the shared typed program form.
+
+The output is a mini-Pascal :class:`~repro.lang.ast.ProgramAst` that
+uses the lowering vocabulary (``MemWord``/``LabelAddr``/``GlobalAddr``/
+``CallIndirect``/``AllocWords``) and is run back through
+:func:`repro.lang.semantic.check_program`, so one checker and one code
+generator serve both front ends.
+
+Mapping:
+
+* class instance  -> heap block; word 0 = vtable pointer, fields at 1..n
+* ``int[]``       -> heap block; word 0 = length, elements at 1..n
+* method          -> function ``mj_<class>_<method>`` with an explicit
+  first parameter ``v_this``
+* vtable          -> global integer array ``mj_vt_<class>``, filled
+  with ``LabelAddr`` entries by statements prepended to the main body
+* dynamic dispatch-> ``CallIndirect`` through ``MemWord(MemWord(obj,
+  0), slot)`` -- every call is virtual
+* locals/params   -> ``v_<name>`` (main's locals become globals)
+
+Every side-effecting MiniJava expression (method call, ``new``) is
+hoisted into a fresh temporary ``mj_t<n>`` by prelude statements
+emitted in Java's left-to-right order, so the Pascal expressions the
+back end sees are side-effect-free and its evaluation order is
+irrelevant.  One dialect note: ``&&``/``||`` lower to Pascal
+``and``/``or`` and evaluate both operands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import ast as past
+from ..lang.semantic import CheckedProgram, check_program
+from . import ast
+from .ast import BoolType, TypeExpr
+from .semantic import CheckedMiniJava, ClassInfo, MethodInfo
+
+_INTEGER = past.NamedType("integer")
+_BOOLEAN = past.NamedType("boolean")
+
+_BINOP_MAP = {
+    "&&": "and",
+    "||": "or",
+    "==": "=",
+    "!=": "<>",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "div",
+    "%": "mod",
+}
+
+
+def _scalar(type_expr: TypeExpr) -> past.NamedType:
+    """The Pascal carrier type: booleans stay boolean, all else is a word."""
+    return _BOOLEAN if isinstance(type_expr, BoolType) else _INTEGER
+
+
+def _value_type(type_expr: TypeExpr) -> str:
+    return "boolean" if isinstance(type_expr, BoolType) else "integer"
+
+
+class _Lowerer:
+    def __init__(self, checked: CheckedMiniJava):
+        self.checked = checked
+        self.globals: List[past.VarDecl] = []
+        self.routines: List[past.Routine] = []
+        self.temp_count = 0
+        #: declaration list temporaries are appended to (globals while
+        #: lowering main, the routine's locals while lowering a method)
+        self.decl_sink: List[past.VarDecl] = self.globals
+        self.vt_names: Dict[str, str] = {}
+        self.method_labels: Dict[Tuple[str, str], str] = {}
+        self.used_names: set = set()
+
+    # -- names --------------------------------------------------------------
+
+    def _unique(self, base: str) -> str:
+        name = base
+        serial = 1
+        while name in self.used_names:
+            serial += 1
+            name = f"{base}_{serial}"
+        self.used_names.add(name)
+        return name
+
+    def fresh_temp(self, pascal_type: past.NamedType) -> past.VarRef:
+        name = f"mj_t{self.temp_count}"
+        self.temp_count += 1
+        self.decl_sink.append(past.VarDecl(name, pascal_type))
+        return past.VarRef(0, name)
+
+    # -- program ------------------------------------------------------------
+
+    def lower(self) -> past.ProgramAst:
+        for info in self.checked.classes.values():
+            self.vt_names[info.name] = self._unique(f"mj_vt_{info.name.lower()}")
+            for method in info.decl.methods:
+                label = self._unique(f"mj_{info.name}_{method.name}".lower())
+                self.method_labels[(info.name, method.name)] = label
+        for info in self.checked.classes.values():
+            slots = max(len(info.vtable), 1)
+            self.globals.append(
+                past.VarDecl(
+                    self.vt_names[info.name],
+                    past.ArrayTypeExpr(0, slots - 1, _INTEGER),
+                )
+            )
+        for info in self.checked.classes.values():
+            for method in info.decl.methods:
+                self.routines.append(self.lower_method(info, method))
+        main = self.checked.program.main
+        for var in main.local_vars:
+            self.globals.append(
+                past.VarDecl(f"v_{var.name}", _scalar(var.type_expr), var.line)
+            )
+        self.decl_sink = self.globals
+        body: List[past.Stmt] = self.vtable_init()
+        for stmt in main.body:
+            body.extend(self.lower_stmt(stmt))
+        return past.ProgramAst(
+            name=main.name.lower(),
+            consts=[],
+            types=[],
+            global_vars=self.globals,
+            routines=self.routines,
+            body=past.Compound(main.line, body),
+        )
+
+    def vtable_init(self) -> List[past.Stmt]:
+        stmts: List[past.Stmt] = []
+        for info in self.checked.classes.values():
+            vt = self.vt_names[info.name]
+            for slot, entry in enumerate(info.vtable):
+                label = self.method_labels[(entry.owner, entry.name)]
+                stmts.append(
+                    past.Assign(
+                        info.decl.line,
+                        past.Index(info.decl.line, past.VarRef(0, vt), past.IntLit(0, slot)),
+                        past.LabelAddr(info.decl.line, label),
+                    )
+                )
+        return stmts
+
+    def lower_method(self, info: ClassInfo, method: ast.MethodDecl) -> past.Routine:
+        label = self.method_labels[(info.name, method.name)]
+        params = [past.Param("v_this", _INTEGER, False, method.line)]
+        for param in method.params:
+            params.append(
+                past.Param(f"v_{param.name}", _scalar(param.type_expr), False, param.line)
+            )
+        local_vars = [
+            past.VarDecl(f"v_{var.name}", _scalar(var.type_expr), var.line)
+            for var in method.local_vars
+        ]
+        self.decl_sink = local_vars
+        self.current_class = info
+        body: List[past.Stmt] = []
+        for stmt in method.body:
+            body.extend(self.lower_stmt(stmt))
+        prelude, result = self.lower_expr(method.result)
+        body.extend(prelude)
+        body.append(past.Assign(method.result.line, past.VarRef(0, label), result))
+        self.decl_sink = self.globals
+        self.current_class = None
+        return past.Routine(
+            name=label,
+            params=params,
+            result_type=_scalar(method.result_type),
+            consts=[],
+            local_vars=local_vars,
+            body=past.Compound(method.line, body),
+            line=method.line,
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def lower_stmt(self, stmt: ast.Stmt) -> List[past.Stmt]:
+        if isinstance(stmt, ast.Block):
+            out: List[past.Stmt] = []
+            for inner in stmt.body:
+                out.extend(self.lower_stmt(inner))
+            return out
+        if isinstance(stmt, ast.If):
+            assert stmt.cond is not None and stmt.then_branch is not None
+            prelude, cond = self.lower_expr(stmt.cond)
+            then_branch = self._as_compound(stmt.then_branch)
+            else_branch = (
+                self._as_compound(stmt.else_branch)
+                if stmt.else_branch is not None
+                else None
+            )
+            return prelude + [past.If(stmt.line, cond, then_branch, else_branch)]
+        if isinstance(stmt, ast.While):
+            assert stmt.cond is not None and stmt.body is not None
+            prelude, cond = self.lower_expr(stmt.cond)
+            if not prelude:
+                return [past.While(stmt.line, cond, self._as_compound(stmt.body))]
+            # The condition has side effects (method calls): evaluate it
+            # into a flag before the loop and again at the end of every
+            # iteration.
+            flag = self.fresh_temp(_BOOLEAN)
+            check = prelude + [past.Assign(stmt.line, flag, cond)]
+            body = self.lower_stmt(stmt.body) + check
+            return check + [
+                past.While(stmt.line, flag, past.Compound(stmt.line, body))
+            ]
+        if isinstance(stmt, ast.Println):
+            assert stmt.value is not None
+            prelude, value = self.lower_expr(stmt.value)
+            return prelude + [past.Write(stmt.line, [value], True)]
+        if isinstance(stmt, ast.Assign):
+            assert stmt.value is not None
+            prelude, value = self.lower_expr(stmt.value)
+            target = self._var_target(stmt.name, stmt.kind, stmt.line)  # type: ignore[attr-defined]
+            return prelude + [past.Assign(stmt.line, target, value)]
+        if isinstance(stmt, ast.ArrayAssign):
+            assert stmt.index is not None and stmt.value is not None
+            base = self._var_target(stmt.name, stmt.kind, stmt.line)  # type: ignore[attr-defined]
+            index_prelude, index = self.lower_expr(stmt.index)
+            value_prelude, value = self.lower_expr(stmt.value)
+            target = self._element(base, index, stmt.line, "integer")
+            return index_prelude + value_prelude + [
+                past.Assign(stmt.line, target, value)
+            ]
+        raise AssertionError(f"unhandled statement {type(stmt).__name__}")
+
+    def _as_compound(self, stmt: ast.Stmt) -> past.Stmt:
+        lowered = self.lower_stmt(stmt)
+        if len(lowered) == 1:
+            return lowered[0]
+        return past.Compound(stmt.line, lowered)
+
+    def _var_target(self, name: str, kind: str, line: int) -> past.Expr:
+        if kind == "field":
+            info = self.current_class
+            assert info is not None
+            return past.MemWord(
+                line,
+                past.VarRef(0, "v_this"),
+                info.field_offsets[name],
+                _value_type(info.field_types[name]),
+            )
+        return past.VarRef(line, f"v_{name}")
+
+    # -- expressions --------------------------------------------------------
+
+    #: class whose method is being lowered (None while lowering main)
+    current_class: Optional[ClassInfo] = None
+
+    def lower_expr(self, expr: ast.Expr) -> Tuple[List[past.Stmt], past.Expr]:
+        """Lower to (prelude statements, side-effect-free expression)."""
+        if isinstance(expr, ast.IntLit):
+            return [], past.IntLit(expr.line, expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return [], past.BoolLit(expr.line, expr.value)
+        if isinstance(expr, ast.VarRef):
+            kind = expr.kind  # type: ignore[attr-defined]
+            if kind == "field":
+                info = self.current_class
+                assert info is not None
+                return [], past.MemWord(
+                    expr.line,
+                    past.VarRef(0, "v_this"),
+                    expr.field_offset,  # type: ignore[attr-defined]
+                    _value_type(expr.mj_type),  # type: ignore[attr-defined]
+                )
+            return [], past.VarRef(expr.line, f"v_{expr.name}")
+        if isinstance(expr, ast.This):
+            return [], past.VarRef(expr.line, "v_this")
+        if isinstance(expr, ast.BinOp):
+            assert expr.left is not None and expr.right is not None
+            left_prelude, left = self.lower_expr(expr.left)
+            right_prelude, right = self.lower_expr(expr.right)
+            return left_prelude + right_prelude, past.BinOp(
+                expr.line, _BINOP_MAP[expr.op], left, right
+            )
+        if isinstance(expr, ast.UnOp):
+            assert expr.operand is not None
+            prelude, operand = self.lower_expr(expr.operand)
+            op = "not" if expr.op == "!" else "-"
+            return prelude, past.UnOp(expr.line, op, operand)
+        if isinstance(expr, ast.ArrayIndex):
+            assert expr.base is not None and expr.index is not None
+            base_prelude, base = self.lower_expr(expr.base)
+            index_prelude, index = self.lower_expr(expr.index)
+            element = self._element(base, index, expr.line, "integer")
+            return base_prelude + index_prelude, element
+        if isinstance(expr, ast.Length):
+            assert expr.base is not None
+            prelude, base = self.lower_expr(expr.base)
+            return prelude, past.MemWord(expr.line, base, 0, "integer")
+        if isinstance(expr, ast.MethodCall):
+            return self.lower_call(expr)
+        if isinstance(expr, ast.NewObject):
+            info = self.checked.classes[expr.class_name]
+            block = self.fresh_temp(_INTEGER)
+            prelude = [
+                past.Assign(
+                    expr.line,
+                    block,
+                    past.AllocWords(expr.line, past.IntLit(0, info.instance_words)),
+                ),
+                past.Assign(
+                    expr.line,
+                    past.MemWord(expr.line, block, 0, "integer"),
+                    past.GlobalAddr(expr.line, self.vt_names[info.name]),
+                ),
+            ]
+            return prelude, block
+        if isinstance(expr, ast.NewArray):
+            assert expr.size is not None
+            prelude, size = self.lower_expr(expr.size)
+            # The length is needed twice (allocation size and the
+            # stored length word); pin anything non-trivial in a temp.
+            if not isinstance(size, (past.IntLit, past.VarRef)):
+                length = self.fresh_temp(_INTEGER)
+                prelude.append(past.Assign(expr.line, length, size))
+                size = length
+            block = self.fresh_temp(_INTEGER)
+            prelude.append(
+                past.Assign(
+                    expr.line,
+                    block,
+                    past.AllocWords(
+                        expr.line, past.BinOp(0, "+", size, past.IntLit(0, 1))
+                    ),
+                )
+            )
+            prelude.append(
+                past.Assign(
+                    expr.line, past.MemWord(expr.line, block, 0, "integer"), size
+                )
+            )
+            return prelude, block
+        raise AssertionError(f"unhandled expression {type(expr).__name__}")
+
+    def lower_call(self, expr: ast.MethodCall) -> Tuple[List[past.Stmt], past.Expr]:
+        assert expr.receiver is not None
+        method: MethodInfo = expr.method  # type: ignore[attr-defined]
+        prelude, receiver = self.lower_expr(expr.receiver)
+        # The receiver is used twice (vtable fetch and the 'this'
+        # argument); pin anything that is not already a variable.
+        if not isinstance(receiver, past.VarRef):
+            pinned = self.fresh_temp(_INTEGER)
+            prelude.append(past.Assign(expr.line, pinned, receiver))
+            receiver = pinned
+        args: List[past.Expr] = [receiver]
+        for arg in expr.args:
+            arg_prelude, lowered = self.lower_expr(arg)
+            prelude.extend(arg_prelude)
+            if not isinstance(lowered, (past.IntLit, past.BoolLit, past.VarRef)):
+                pinned = self.fresh_temp(_scalar(arg.mj_type))  # type: ignore[attr-defined]
+                prelude.append(past.Assign(arg.line, pinned, lowered))
+                lowered = pinned
+            args.append(lowered)
+        target = past.MemWord(
+            expr.line,
+            past.MemWord(expr.line, receiver, 0, "integer"),
+            method.slot,
+            "integer",
+        )
+        call = past.CallIndirect(
+            expr.line, target, args, _value_type(method.result_type)
+        )
+        # A call is itself a side effect: land it in a temp so the
+        # caller's expression stays pure and order is preserved.
+        result = self.fresh_temp(_scalar(method.result_type))
+        prelude.append(past.Assign(expr.line, result, call))
+        return prelude, result
+
+    def _element(
+        self, base: past.Expr, index: past.Expr, line: int, value_type: str
+    ) -> past.MemWord:
+        """``base[index]`` -- elements live at words 1..length."""
+        if isinstance(index, past.IntLit):
+            return past.MemWord(line, base, 1 + index.value, value_type)
+        return past.MemWord(
+            line, past.BinOp(0, "+", base, index), 1, value_type
+        )
+
+
+def lower(checked: CheckedMiniJava) -> CheckedProgram:
+    """Lower checked MiniJava into a checked shared-form program."""
+    lowerer = _Lowerer(checked)
+    program = lowerer.lower()
+    return check_program(program)

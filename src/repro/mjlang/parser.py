@@ -1,0 +1,405 @@
+"""Recursive-descent parser for MiniJava (mirrors :mod:`repro.lang.parser`).
+
+Grammar (classic MiniJava plus ``||``, ``%``, else-less ``if``, and
+local variable declarations in ``main``)::
+
+    Program    := MainClass ClassDecl* EOF
+    MainClass  := "class" IDENT "{" "public" "static" "void" "main"
+                  "(" "String" "[" "]" IDENT ")" "{" VarDecl* Stmt* "}" "}"
+    ClassDecl  := "class" IDENT ("extends" IDENT)?
+                  "{" VarDecl* MethodDecl* "}"
+    VarDecl    := Type IDENT ";"
+    MethodDecl := "public" Type IDENT "(" ParamList? ")"
+                  "{" VarDecl* Stmt* "return" Expr ";" "}"
+    Type       := "int" "[" "]" | "int" | "boolean" | IDENT
+    Stmt       := "{" Stmt* "}"
+                | "if" "(" Expr ")" Stmt ("else" Stmt)?
+                | "while" "(" Expr ")" Stmt
+                | "System" "." IDENT "." IDENT "(" Expr ")" ";"
+                | IDENT "=" Expr ";"
+                | IDENT "[" Expr "]" "=" Expr ";"
+
+Expression precedence, loosest first: ``||``, ``&&``, equality,
+relational, additive, multiplicative, unary (``!``/``-``), postfix
+(indexing, ``.length``, method call), primary.
+
+Declarations precede statements inside every body; ``IDENT IDENT``
+starts a declaration, anything else starts a statement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast
+from .errors import MiniJavaError
+from .lexer import Kind, Token, tokenize
+
+_EQUALITY_OPS = ("==", "!=")
+_RELATIONAL_OPS = ("<", "<=", ">", ">=")
+_ADDITIVE_OPS = ("+", "-")
+_MULTIPLICATIVE_OPS = ("*", "/", "%")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, ahead: int = 1) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not Kind.EOF:
+            self.pos += 1
+        return token
+
+    def expect_op(self, op: str) -> Token:
+        if not self.current.is_op(op):
+            raise MiniJavaError(
+                f"expected {op!r}, found {self.current.text!r}", self.current.line
+            )
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise MiniJavaError(
+                f"expected {word!r}, found {self.current.text!r}", self.current.line
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not Kind.IDENT:
+            raise MiniJavaError(
+                f"expected identifier, found {self.current.text!r}", self.current.line
+            )
+        return self.advance()
+
+    def expect_method_name(self) -> Token:
+        # 'length' is a keyword (array length) but also a fine method name
+        if self.current.is_keyword("length"):
+            return self.advance()
+        return self.expect_ident()
+
+    # -- declarations -------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        main = self.parse_main_class()
+        classes: List[ast.ClassDecl] = []
+        while self.current.is_keyword("class"):
+            classes.append(self.parse_class())
+        if self.current.kind is not Kind.EOF:
+            raise MiniJavaError(
+                f"expected end of input, found {self.current.text!r}",
+                self.current.line,
+            )
+        return ast.Program(main, classes)
+
+    def parse_main_class(self) -> ast.MainClass:
+        start = self.expect_keyword("class")
+        name = self.expect_ident()
+        self.expect_op("{")
+        self.expect_keyword("public")
+        self.expect_keyword("static")
+        self.expect_keyword("void")
+        self.expect_keyword("main")
+        self.expect_op("(")
+        self.expect_keyword("String")
+        self.expect_op("[")
+        self.expect_op("]")
+        arg_name = self.expect_ident()
+        self.expect_op(")")
+        self.expect_op("{")
+        local_vars = self.parse_var_decls()
+        body: List[ast.Stmt] = []
+        while not self.current.is_op("}"):
+            body.append(self.parse_statement())
+        self.expect_op("}")
+        self.expect_op("}")
+        return ast.MainClass(name.text, arg_name.text, local_vars, body, start.line)
+
+    def parse_class(self) -> ast.ClassDecl:
+        start = self.expect_keyword("class")
+        name = self.expect_ident()
+        superclass: Optional[str] = None
+        if self.current.is_keyword("extends"):
+            self.advance()
+            superclass = self.expect_ident().text
+        self.expect_op("{")
+        fields = self.parse_var_decls()
+        methods: List[ast.MethodDecl] = []
+        while self.current.is_keyword("public"):
+            methods.append(self.parse_method())
+        self.expect_op("}")
+        return ast.ClassDecl(name.text, superclass, fields, methods, start.line)
+
+    def parse_method(self) -> ast.MethodDecl:
+        start = self.expect_keyword("public")
+        result_type = self.parse_type()
+        name = self.expect_method_name()
+        self.expect_op("(")
+        params: List[ast.Param] = []
+        if not self.current.is_op(")"):
+            while True:
+                type_expr = self.parse_type()
+                param_name = self.expect_ident()
+                params.append(ast.Param(param_name.text, type_expr, param_name.line))
+                if not self.current.is_op(","):
+                    break
+                self.advance()
+        self.expect_op(")")
+        self.expect_op("{")
+        local_vars = self.parse_var_decls()
+        body: List[ast.Stmt] = []
+        while not self.current.is_keyword("return"):
+            if self.current.is_op("}") or self.current.kind is Kind.EOF:
+                raise MiniJavaError(
+                    f"method {name.text!r} must end with a return statement",
+                    self.current.line,
+                )
+            body.append(self.parse_statement())
+        self.expect_keyword("return")
+        result = self.parse_expression()
+        self.expect_op(";")
+        self.expect_op("}")
+        return ast.MethodDecl(
+            name.text, params, result_type, local_vars, body, result, start.line
+        )
+
+    def parse_var_decls(self) -> List[ast.VarDecl]:
+        decls: List[ast.VarDecl] = []
+        while self.at_var_decl():
+            type_expr = self.parse_type()
+            name = self.expect_ident()
+            self.expect_op(";")
+            decls.append(ast.VarDecl(name.text, type_expr, name.line))
+        return decls
+
+    def at_var_decl(self) -> bool:
+        token = self.current
+        if token.is_keyword("int") or token.is_keyword("boolean"):
+            return True
+        # "IDENT IDENT" is a class-typed declaration; "IDENT =" and
+        # "IDENT [" begin statements.
+        return token.kind is Kind.IDENT and self.peek().kind is Kind.IDENT
+
+    def parse_type(self) -> ast.TypeExpr:
+        token = self.current
+        if token.is_keyword("int"):
+            self.advance()
+            if self.current.is_op("["):
+                self.advance()
+                self.expect_op("]")
+                return ast.IntArrayType()
+            return ast.IntType()
+        if token.is_keyword("boolean"):
+            self.advance()
+            return ast.BoolType()
+        if token.kind is Kind.IDENT:
+            self.advance()
+            return ast.ClassType(token.text)
+        raise MiniJavaError(f"expected a type, found {token.text!r}", token.line)
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.is_op("{"):
+            self.advance()
+            body: List[ast.Stmt] = []
+            while not self.current.is_op("}"):
+                body.append(self.parse_statement())
+            self.expect_op("}")
+            return ast.Block(token.line, body)
+        if token.is_keyword("if"):
+            self.advance()
+            self.expect_op("(")
+            cond = self.parse_expression()
+            self.expect_op(")")
+            then_branch = self.parse_statement()
+            else_branch: Optional[ast.Stmt] = None
+            if self.current.is_keyword("else"):
+                self.advance()
+                else_branch = self.parse_statement()
+            return ast.If(token.line, cond, then_branch, else_branch)
+        if token.is_keyword("while"):
+            self.advance()
+            self.expect_op("(")
+            cond = self.parse_expression()
+            self.expect_op(")")
+            body_stmt = self.parse_statement()
+            return ast.While(token.line, cond, body_stmt)
+        if token.is_keyword("System"):
+            self.advance()
+            self.expect_op(".")
+            out = self.expect_ident()
+            if out.text != "out":
+                raise MiniJavaError(
+                    f"expected 'out' after 'System.', found {out.text!r}", out.line
+                )
+            self.expect_op(".")
+            println = self.expect_ident()
+            if println.text != "println":
+                raise MiniJavaError(
+                    f"expected 'println', found {println.text!r}", println.line
+                )
+            self.expect_op("(")
+            value = self.parse_expression()
+            self.expect_op(")")
+            self.expect_op(";")
+            return ast.Println(token.line, value)
+        if token.kind is Kind.IDENT:
+            name = self.advance()
+            if self.current.is_op("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect_op("]")
+                self.expect_op("=")
+                value = self.parse_expression()
+                self.expect_op(";")
+                return ast.ArrayAssign(name.line, name.text, index, value)
+            self.expect_op("=")
+            value = self.parse_expression()
+            self.expect_op(";")
+            return ast.Assign(name.line, name.text, value)
+        raise MiniJavaError(f"expected a statement, found {token.text!r}", token.line)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        expr = self.parse_and()
+        while self.current.is_op("||"):
+            op = self.advance()
+            expr = ast.BinOp(op.line, "||", expr, self.parse_and())
+        return expr
+
+    def parse_and(self) -> ast.Expr:
+        expr = self.parse_equality()
+        while self.current.is_op("&&"):
+            op = self.advance()
+            expr = ast.BinOp(op.line, "&&", expr, self.parse_equality())
+        return expr
+
+    def parse_equality(self) -> ast.Expr:
+        expr = self.parse_relational()
+        while self.current.kind is Kind.OP and self.current.text in _EQUALITY_OPS:
+            op = self.advance()
+            expr = ast.BinOp(op.line, op.text, expr, self.parse_relational())
+        return expr
+
+    def parse_relational(self) -> ast.Expr:
+        expr = self.parse_additive()
+        while self.current.kind is Kind.OP and self.current.text in _RELATIONAL_OPS:
+            op = self.advance()
+            expr = ast.BinOp(op.line, op.text, expr, self.parse_additive())
+        return expr
+
+    def parse_additive(self) -> ast.Expr:
+        expr = self.parse_multiplicative()
+        while self.current.kind is Kind.OP and self.current.text in _ADDITIVE_OPS:
+            op = self.advance()
+            expr = ast.BinOp(op.line, op.text, expr, self.parse_multiplicative())
+        return expr
+
+    def parse_multiplicative(self) -> ast.Expr:
+        expr = self.parse_unary()
+        while self.current.kind is Kind.OP and self.current.text in _MULTIPLICATIVE_OPS:
+            op = self.advance()
+            expr = ast.BinOp(op.line, op.text, expr, self.parse_unary())
+        return expr
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.is_op("!"):
+            self.advance()
+            return ast.UnOp(token.line, "!", self.parse_unary())
+        if token.is_op("-"):
+            self.advance()
+            return ast.UnOp(token.line, "-", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.current
+            if token.is_op("["):
+                self.advance()
+                index = self.parse_expression()
+                self.expect_op("]")
+                expr = ast.ArrayIndex(token.line, expr, index)
+                continue
+            if token.is_op("."):
+                self.advance()
+                member = self.current
+                if member.is_keyword("length") and not self.peek().is_op("("):
+                    self.advance()
+                    expr = ast.Length(token.line, expr)
+                    continue
+                if member.is_keyword("length"):
+                    name = self.advance()  # a method named 'length'
+                else:
+                    name = self.expect_ident()
+                self.expect_op("(")
+                args: List[ast.Expr] = []
+                if not self.current.is_op(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.current.is_op(","):
+                            break
+                        self.advance()
+                self.expect_op(")")
+                expr = ast.MethodCall(token.line, expr, name.text, args)
+                continue
+            return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is Kind.NUMBER:
+            self.advance()
+            return ast.IntLit(token.line, token.value)
+        if token.is_keyword("true"):
+            self.advance()
+            return ast.BoolLit(token.line, True)
+        if token.is_keyword("false"):
+            self.advance()
+            return ast.BoolLit(token.line, False)
+        if token.is_keyword("this"):
+            self.advance()
+            return ast.This(token.line)
+        if token.is_keyword("new"):
+            self.advance()
+            if self.current.is_keyword("int"):
+                self.advance()
+                self.expect_op("[")
+                size = self.parse_expression()
+                self.expect_op("]")
+                return ast.NewArray(token.line, size)
+            name = self.expect_ident()
+            self.expect_op("(")
+            self.expect_op(")")
+            return ast.NewObject(token.line, name.text)
+        if token.kind is Kind.IDENT:
+            self.advance()
+            return ast.VarRef(token.line, token.text)
+        if token.is_op("("):
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_op(")")
+            return expr
+        raise MiniJavaError(f"expected an expression, found {token.text!r}", token.line)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniJava source text into its AST."""
+    return _Parser(tokenize(source)).parse_program()

@@ -1,0 +1,436 @@
+"""Semantic analysis for MiniJava (mirrors :mod:`repro.lang.semantic`).
+
+Builds the class table -- per-class field offsets and vtable slots --
+and type-checks every method body, annotating the AST in place with
+the facts the lowering pass needs:
+
+* every expression gets ``mj_type`` (a resolved :data:`TypeExpr`);
+* every :class:`~repro.mjlang.ast.VarRef` gets ``kind`` (``"local"``,
+  ``"param"``, or ``"field"``) and, for fields, ``field_offset``;
+* every :class:`~repro.mjlang.ast.MethodCall` gets ``method`` (the
+  resolved :class:`MethodInfo`, carrying its vtable slot).
+
+Object layout: word 0 holds the vtable pointer; fields occupy words
+1..n, inherited fields first, in declaration order.  A subclass never
+re-declares an inherited field name.  Vtable layout: one slot per
+method name, assigned in first-declaration order walking down from the
+root ancestor; an override reuses the slot it overrides and must match
+the overridden signature exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import ast
+from .ast import BoolType, ClassType, IntArrayType, IntType, TypeExpr
+from .errors import MiniJavaError
+
+INT = IntType()
+BOOL = BoolType()
+INT_ARRAY = IntArrayType()
+
+
+@dataclass
+class MethodInfo:
+    """One method as seen through a class's vtable."""
+
+    name: str
+    owner: str  # class that provides the implementation
+    slot: int
+    param_types: List[TypeExpr]
+    result_type: TypeExpr
+    decl: ast.MethodDecl
+
+
+@dataclass
+class ClassInfo:
+    """Layout and dispatch facts for one class."""
+
+    name: str
+    superclass: Optional[str]
+    decl: ast.ClassDecl
+    field_offsets: Dict[str, int] = field(default_factory=dict)
+    field_types: Dict[str, TypeExpr] = field(default_factory=dict)
+    # Vtable: slot index -> the providing implementation.
+    vtable: List[MethodInfo] = field(default_factory=list)
+    methods: Dict[str, MethodInfo] = field(default_factory=dict)
+
+    @property
+    def instance_words(self) -> int:
+        """Words per instance: the vtable pointer plus every field."""
+        return 1 + len(self.field_offsets)
+
+
+@dataclass
+class CheckedMiniJava:
+    """A parsed, analyzed, annotation-carrying MiniJava program."""
+
+    program: ast.Program
+    classes: Dict[str, ClassInfo]
+
+
+def _type_name(type_expr: TypeExpr) -> str:
+    if isinstance(type_expr, IntType):
+        return "int"
+    if isinstance(type_expr, BoolType):
+        return "boolean"
+    if isinstance(type_expr, IntArrayType):
+        return "int[]"
+    return type_expr.name
+
+
+class _Checker:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # -- class table --------------------------------------------------------
+
+    def build_class_table(self) -> None:
+        names = {self.program.main.name}
+        for decl in self.program.classes:
+            if decl.name in names:
+                raise MiniJavaError(f"duplicate class {decl.name!r}", decl.line)
+            names.add(decl.name)
+            self.classes[decl.name] = ClassInfo(decl.name, decl.superclass, decl)
+        for info in self.classes.values():
+            if info.superclass is not None and info.superclass not in self.classes:
+                raise MiniJavaError(
+                    f"class {info.name!r} extends unknown class"
+                    f" {info.superclass!r}",
+                    info.decl.line,
+                )
+        for info in self.classes.values():
+            self._check_no_cycle(info)
+        # Lay out ancestors before descendants so inherited fields and
+        # vtable slots are in place when a subclass extends them.
+        for info in self.classes.values():
+            self._layout(info)
+
+    def _check_no_cycle(self, info: ClassInfo) -> None:
+        seen = {info.name}
+        current = info.superclass
+        while current is not None:
+            if current in seen:
+                raise MiniJavaError(
+                    f"inheritance cycle through class {info.name!r}", info.decl.line
+                )
+            seen.add(current)
+            current = self.classes[current].superclass
+
+    def _layout(self, info: ClassInfo) -> None:
+        if info.field_offsets or info.vtable or info.methods:
+            return  # already laid out via a subclass
+        if info.superclass is not None:
+            parent = self.classes[info.superclass]
+            self._layout(parent)
+            info.field_offsets.update(parent.field_offsets)
+            info.field_types.update(parent.field_types)
+            info.vtable = list(parent.vtable)
+            info.methods = dict(parent.methods)
+        next_offset = 1 + len(info.field_offsets)  # word 0: vtable pointer
+        for var in info.decl.fields:
+            if var.name in info.field_offsets:
+                raise MiniJavaError(
+                    f"field {var.name!r} re-declares an inherited field", var.line
+                )
+            self._check_type(var.type_expr, var.line)
+            info.field_offsets[var.name] = next_offset
+            info.field_types[var.name] = var.type_expr
+            next_offset += 1
+        declared: set = set()
+        for method in info.decl.methods:
+            if method.name in declared:
+                raise MiniJavaError(
+                    f"duplicate method {method.name!r} in class {info.name!r}",
+                    method.line,
+                )
+            declared.add(method.name)
+            self._check_type(method.result_type, method.line)
+            param_types: List[TypeExpr] = []
+            for param in method.params:
+                self._check_type(param.type_expr, param.line)
+                param_types.append(param.type_expr)
+            overridden = info.methods.get(method.name)
+            if overridden is not None:
+                if (
+                    overridden.param_types != param_types
+                    or overridden.result_type != method.result_type
+                ):
+                    raise MiniJavaError(
+                        f"override of {method.name!r} changes the signature"
+                        f" inherited from class {overridden.owner!r}",
+                        method.line,
+                    )
+                slot = overridden.slot
+            else:
+                slot = len(info.vtable)
+                info.vtable.append(None)  # type: ignore[arg-type]
+            entry = MethodInfo(
+                method.name, info.name, slot, param_types, method.result_type, method
+            )
+            info.vtable[slot] = entry
+            info.methods[method.name] = entry
+
+    def _check_type(self, type_expr: TypeExpr, line: int) -> None:
+        if isinstance(type_expr, ClassType) and type_expr.name not in self.classes:
+            raise MiniJavaError(f"unknown type {type_expr.name!r}", line)
+
+    # -- assignability ------------------------------------------------------
+
+    def _is_subclass(self, name: str, ancestor: str) -> bool:
+        current: Optional[str] = name
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self.classes[current].superclass
+        return False
+
+    def assignable(self, target: TypeExpr, value: TypeExpr) -> bool:
+        if target == value:
+            return True
+        if isinstance(target, ClassType) and isinstance(value, ClassType):
+            return self._is_subclass(value.name, target.name)
+        return False
+
+    # -- bodies -------------------------------------------------------------
+
+    def check_bodies(self) -> None:
+        main = self.program.main
+        scope = self._build_scope(main.local_vars, [], None, main.line)
+        for stmt in main.body:
+            self._check_stmt(stmt, scope, None)
+        for info in self.classes.values():
+            for method in info.decl.methods:
+                entry = info.methods[method.name]
+                scope = self._build_scope(
+                    method.local_vars, method.params, info, method.line
+                )
+                for stmt in method.body:
+                    self._check_stmt(stmt, scope, info)
+                result_type = self._check_expr(method.result, scope, info)
+                if not self.assignable(entry.result_type, result_type):
+                    raise MiniJavaError(
+                        f"method {method.name!r} returns"
+                        f" {_type_name(result_type)}, declared"
+                        f" {_type_name(entry.result_type)}",
+                        method.result.line,
+                    )
+
+    def _build_scope(
+        self,
+        local_vars: List[ast.VarDecl],
+        params: List[ast.Param],
+        info: Optional[ClassInfo],
+        line: int,
+    ) -> Dict[str, Tuple[str, TypeExpr]]:
+        scope: Dict[str, Tuple[str, TypeExpr]] = {}
+        if info is not None:
+            for name, type_expr in info.field_types.items():
+                scope[name] = ("field", type_expr)
+        for param in params:
+            if param.name in scope and scope[param.name][0] != "field":
+                raise MiniJavaError(f"duplicate parameter {param.name!r}", param.line)
+            scope[param.name] = ("param", param.type_expr)
+        for var in local_vars:
+            if var.name in scope and scope[var.name][0] != "field":
+                raise MiniJavaError(f"duplicate variable {var.name!r}", var.line)
+            self._check_type(var.type_expr, var.line)
+            scope[var.name] = ("local", var.type_expr)
+        return scope
+
+    def _check_stmt(
+        self,
+        stmt: ast.Stmt,
+        scope: Dict[str, Tuple[str, TypeExpr]],
+        info: Optional[ClassInfo],
+    ) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.body:
+                self._check_stmt(inner, scope, info)
+            return
+        if isinstance(stmt, ast.If):
+            assert stmt.cond is not None and stmt.then_branch is not None
+            self._require(stmt.cond, BOOL, scope, info, "if condition")
+            self._check_stmt(stmt.then_branch, scope, info)
+            if stmt.else_branch is not None:
+                self._check_stmt(stmt.else_branch, scope, info)
+            return
+        if isinstance(stmt, ast.While):
+            assert stmt.cond is not None and stmt.body is not None
+            self._require(stmt.cond, BOOL, scope, info, "while condition")
+            self._check_stmt(stmt.body, scope, info)
+            return
+        if isinstance(stmt, ast.Println):
+            assert stmt.value is not None
+            self._require(stmt.value, INT, scope, info, "println argument")
+            return
+        if isinstance(stmt, ast.Assign):
+            assert stmt.value is not None
+            if stmt.name not in scope:
+                raise MiniJavaError(f"unknown variable {stmt.name!r}", stmt.line)
+            kind, target_type = scope[stmt.name]
+            stmt.kind = kind  # type: ignore[attr-defined]
+            value_type = self._check_expr(stmt.value, scope, info)
+            if not self.assignable(target_type, value_type):
+                raise MiniJavaError(
+                    f"cannot assign {_type_name(value_type)} to"
+                    f" {stmt.name!r} ({_type_name(target_type)})",
+                    stmt.line,
+                )
+            return
+        if isinstance(stmt, ast.ArrayAssign):
+            assert stmt.index is not None and stmt.value is not None
+            if stmt.name not in scope:
+                raise MiniJavaError(f"unknown variable {stmt.name!r}", stmt.line)
+            kind, target_type = scope[stmt.name]
+            stmt.kind = kind  # type: ignore[attr-defined]
+            if target_type != INT_ARRAY:
+                raise MiniJavaError(
+                    f"{stmt.name!r} is {_type_name(target_type)}, not int[]",
+                    stmt.line,
+                )
+            self._require(stmt.index, INT, scope, info, "array index")
+            self._require(stmt.value, INT, scope, info, "array element")
+            return
+        raise MiniJavaError(f"unhandled statement {type(stmt).__name__}", stmt.line)
+
+    def _require(
+        self,
+        expr: ast.Expr,
+        expected: TypeExpr,
+        scope: Dict[str, Tuple[str, TypeExpr]],
+        info: Optional[ClassInfo],
+        what: str,
+    ) -> TypeExpr:
+        found = self._check_expr(expr, scope, info)
+        if found != expected:
+            raise MiniJavaError(
+                f"{what} must be {_type_name(expected)},"
+                f" found {_type_name(found)}",
+                expr.line,
+            )
+        return found
+
+    def _check_expr(
+        self,
+        expr: ast.Expr,
+        scope: Dict[str, Tuple[str, TypeExpr]],
+        info: Optional[ClassInfo],
+    ) -> TypeExpr:
+        result = self._expr_type(expr, scope, info)
+        expr.mj_type = result  # type: ignore[attr-defined]
+        return result
+
+    def _expr_type(
+        self,
+        expr: ast.Expr,
+        scope: Dict[str, Tuple[str, TypeExpr]],
+        info: Optional[ClassInfo],
+    ) -> TypeExpr:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.BoolLit):
+            return BOOL
+        if isinstance(expr, ast.VarRef):
+            if expr.name not in scope:
+                raise MiniJavaError(f"unknown variable {expr.name!r}", expr.line)
+            kind, var_type = scope[expr.name]
+            expr.kind = kind  # type: ignore[attr-defined]
+            if kind == "field":
+                assert info is not None
+                expr.field_offset = info.field_offsets[expr.name]  # type: ignore[attr-defined]
+            return var_type
+        if isinstance(expr, ast.This):
+            if info is None:
+                raise MiniJavaError("'this' outside a method", expr.line)
+            return ClassType(info.name)
+        if isinstance(expr, ast.BinOp):
+            assert expr.left is not None and expr.right is not None
+            left = self._check_expr(expr.left, scope, info)
+            right = self._check_expr(expr.right, scope, info)
+            if expr.op in ("&&", "||"):
+                if left != BOOL or right != BOOL:
+                    raise MiniJavaError(
+                        f"{expr.op!r} needs boolean operands", expr.line
+                    )
+                return BOOL
+            if expr.op in ("==", "!="):
+                if not (self.assignable(left, right) or self.assignable(right, left)):
+                    raise MiniJavaError(
+                        f"cannot compare {_type_name(left)} with"
+                        f" {_type_name(right)}",
+                        expr.line,
+                    )
+                return BOOL
+            if left != INT or right != INT:
+                raise MiniJavaError(f"{expr.op!r} needs int operands", expr.line)
+            if expr.op in ("<", "<=", ">", ">="):
+                return BOOL
+            return INT
+        if isinstance(expr, ast.UnOp):
+            assert expr.operand is not None
+            if expr.op == "!":
+                self._require(expr.operand, BOOL, scope, info, "'!' operand")
+                return BOOL
+            self._require(expr.operand, INT, scope, info, "'-' operand")
+            return INT
+        if isinstance(expr, ast.ArrayIndex):
+            assert expr.base is not None and expr.index is not None
+            self._require(expr.base, INT_ARRAY, scope, info, "indexed value")
+            self._require(expr.index, INT, scope, info, "array index")
+            return INT
+        if isinstance(expr, ast.Length):
+            assert expr.base is not None
+            self._require(expr.base, INT_ARRAY, scope, info, "'.length' value")
+            return INT
+        if isinstance(expr, ast.MethodCall):
+            assert expr.receiver is not None
+            receiver = self._check_expr(expr.receiver, scope, info)
+            if not isinstance(receiver, ClassType):
+                raise MiniJavaError(
+                    f"cannot call a method on {_type_name(receiver)}", expr.line
+                )
+            receiver_info = self.classes[receiver.name]
+            method = receiver_info.methods.get(expr.name)
+            if method is None:
+                raise MiniJavaError(
+                    f"class {receiver.name!r} has no method {expr.name!r}",
+                    expr.line,
+                )
+            if len(expr.args) != len(method.param_types):
+                raise MiniJavaError(
+                    f"method {expr.name!r} takes {len(method.param_types)}"
+                    f" argument(s), got {len(expr.args)}",
+                    expr.line,
+                )
+            for arg, param_type in zip(expr.args, method.param_types):
+                arg_type = self._check_expr(arg, scope, info)
+                if not self.assignable(param_type, arg_type):
+                    raise MiniJavaError(
+                        f"argument to {expr.name!r} must be"
+                        f" {_type_name(param_type)}, found"
+                        f" {_type_name(arg_type)}",
+                        arg.line,
+                    )
+            expr.method = method  # type: ignore[attr-defined]
+            return method.result_type
+        if isinstance(expr, ast.NewObject):
+            if expr.class_name not in self.classes:
+                raise MiniJavaError(f"unknown class {expr.class_name!r}", expr.line)
+            return ClassType(expr.class_name)
+        if isinstance(expr, ast.NewArray):
+            assert expr.size is not None
+            self._require(expr.size, INT, scope, info, "array size")
+            return INT_ARRAY
+        raise MiniJavaError(f"unhandled expression {type(expr).__name__}", expr.line)
+
+
+def check(program: ast.Program) -> CheckedMiniJava:
+    """Analyze a parsed MiniJava program, annotating its AST in place."""
+    checker = _Checker(program)
+    checker.build_class_table()
+    checker.check_bodies()
+    return CheckedMiniJava(program, checker.classes)

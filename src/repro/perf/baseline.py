@@ -23,6 +23,12 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..workloads.corpus import QUICK_PROGRAMS
+from ..workloads.minijava import MINIJAVA_PROGRAMS
+
+#: the default gate collection: the quick Pascal corpus plus the
+#: MiniJava corpus, so the cycle and dispatch gates watch both front
+#: ends' code generation (vtable dispatch and heap traffic included)
+GATE_PROGRAMS = tuple(QUICK_PROGRAMS) + tuple(MINIJAVA_PROGRAMS)
 
 #: relative growth in any gated counter that fails the gate
 DEFAULT_THRESHOLD = 0.02
@@ -58,7 +64,7 @@ def _gate_scheduler(jobs: int, store, cache, hosts):
 
 
 def collect_cycles(
-    names: Sequence[str] = QUICK_PROGRAMS,
+    names: Sequence[str] = GATE_PROGRAMS,
     jobs: int = 1,
     store=None,
     cache=None,
@@ -102,7 +108,7 @@ DISPATCH_COUNTERS = (
 
 
 def collect_dispatch(
-    names: Sequence[str] = QUICK_PROGRAMS,
+    names: Sequence[str] = GATE_PROGRAMS,
     jobs: int = 1,
     store=None,
     cache=None,

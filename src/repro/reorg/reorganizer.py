@@ -24,7 +24,7 @@ from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..asm.program import Program
-from ..isa.pieces import CompareBranch, Jump, Piece
+from ..isa.pieces import CompareBranch, Jump, LoadImm, LoadLabel, Piece
 from ..isa.words import InstructionWord
 from .blocks import FlowGraph, LabeledPiece
 from .branch_delay import DelayFillStats, DelaySlotFiller
@@ -107,6 +107,8 @@ def _resolve_word(word: InstructionWord, symbols: Dict[str, int]) -> Instruction
             return CompareBranch(piece.cond, piece.s1, piece.s2, symbols[piece.target])
         if isinstance(piece, Jump) and isinstance(piece.target, str):
             return Jump(symbols[piece.target], piece.link)
+        if isinstance(piece, LoadLabel):
+            return LoadImm(symbols[piece.label], piece.dst)
         return piece
 
     if word.is_packed:

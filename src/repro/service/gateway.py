@@ -451,10 +451,10 @@ class Gateway:
             payload = json.loads(body.decode() or "{}")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise _HttpError(400, f"request body is not JSON: {exc}") from exc
-        from ..workloads import CORPUS, QUICK_PROGRAMS
+        from ..workloads import CORPUS, MINIJAVA_CORPUS, QUICK_PROGRAMS
 
         names = payload.get("workloads") or list(QUICK_PROGRAMS)
-        unknown = [n for n in names if n not in CORPUS]
+        unknown = [n for n in names if n not in CORPUS and n not in MINIJAVA_CORPUS]
         if unknown:
             raise _HttpError(400, f"unknown workloads: {', '.join(unknown)}")
         jobs = list(

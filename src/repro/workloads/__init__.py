@@ -1,7 +1,9 @@
-"""The workload corpus: mini-Pascal programs matching the paper's data set."""
+"""The workload corpus: mini-Pascal programs matching the paper's data
+set, plus the MiniJava companions exercising the second front end."""
 
 from .corpus import CORPUS, EXPECTED_OUTPUT, QUICK_PROGRAMS, TEXT_HEAVY
 from .fib import FIB_ITERATIVE, FIB_RECURSIVE, fib
+from .minijava import MINIJAVA_CORPUS, MINIJAVA_EXPECTED, MINIJAVA_PROGRAMS
 from .puzzle import PUZZLE0, PUZZLE1, puzzle_source
 
 __all__ = [
@@ -9,6 +11,9 @@ __all__ = [
     "EXPECTED_OUTPUT",
     "FIB_ITERATIVE",
     "FIB_RECURSIVE",
+    "MINIJAVA_CORPUS",
+    "MINIJAVA_EXPECTED",
+    "MINIJAVA_PROGRAMS",
     "PUZZLE0",
     "PUZZLE1",
     "QUICK_PROGRAMS",

@@ -1,0 +1,356 @@
+"""The MiniJava workload corpus.
+
+Object-oriented companions to the mini-Pascal corpus, exercising what
+that corpus cannot: heap allocation, vtable dispatch, ``this``
+threading through recursive methods, and pointer-linked structures.
+Every program has a pure-Python oracle computing its expected output,
+so divergence anywhere in the front end, lowering, reorganizer, or
+engines is caught against ground truth.
+
+Kept separate from :data:`repro.workloads.CORPUS` because the source-
+level analyses (``repro.analysis.*``) parse that registry as
+mini-Pascal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+# ---------------------------------------------------------------------------
+# mj_list: a Cons/Nil linked list -- dispatch replaces the nil check
+# ---------------------------------------------------------------------------
+
+MJ_LIST = """
+class MJListMain {
+    public static void main(String[] a) {
+        List l;
+        int i;
+        l = new List();
+        i = 1;
+        while (i < 13) {
+            l = l.prepend(i * i - i);
+            i = i + 1;
+        }
+        System.out.println(l.length());
+        System.out.println(l.sum());
+        System.out.println(l.max(0 - 100));
+        l = l.reverse(new List());
+        System.out.println(l.head());
+        System.out.println(l.sum());
+    }
+}
+class List {
+    public boolean isNil() { return true; }
+    public int head() { return 0 - 1; }
+    public List tail() { return this; }
+    public int length() { return 0; }
+    public int sum() { return 0; }
+    public int max(int best) { return best; }
+    public List reverse(List acc) { return acc; }
+    public List prepend(int v) {
+        Cons c;
+        List r;
+        c = new Cons();
+        r = c.init(v, this);
+        return r;
+    }
+}
+class Cons extends List {
+    int value;
+    List rest;
+    public List init(int v, List r) {
+        value = v;
+        rest = r;
+        return this;
+    }
+    public boolean isNil() { return false; }
+    public int head() { return value; }
+    public List tail() { return rest; }
+    public int length() { return 1 + rest.length(); }
+    public int sum() { return value + rest.sum(); }
+    public int max(int best) {
+        int b;
+        if (value > best) b = value; else b = best;
+        return rest.max(b);
+    }
+    public List reverse(List acc) { return rest.reverse(acc.prepend(value)); }
+}
+"""
+
+
+def _mj_list_expected() -> List[int]:
+    values = [i * i - i for i in range(1, 13)]
+    # prepend order: the list holds values reversed; reverse restores it
+    return [len(values), sum(values), max(values), values[0], sum(values)]
+
+
+# ---------------------------------------------------------------------------
+# mj_tree: a binary search tree -- Node/leaf dispatch, this-threaded insert
+# ---------------------------------------------------------------------------
+
+MJ_TREE = """
+class MJTreeMain {
+    public static void main(String[] a) {
+        Tree t;
+        int i;
+        int seed;
+        t = new Tree();
+        seed = 7;
+        i = 0;
+        while (i < 20) {
+            t = t.insert(seed);
+            seed = (seed * 13 + 5) % 97;
+            i = i + 1;
+        }
+        System.out.println(t.size());
+        System.out.println(t.height());
+        System.out.println(t.sum());
+        if (t.contains(7)) System.out.println(1); else System.out.println(0);
+        if (t.contains(50)) System.out.println(1); else System.out.println(0);
+    }
+}
+class Tree {
+    public boolean isLeaf() { return true; }
+    public int size() { return 0; }
+    public int height() { return 0; }
+    public int sum() { return 0; }
+    public boolean contains(int v) { return false; }
+    public Tree insert(int v) {
+        Node n;
+        Tree r;
+        n = new Node();
+        r = n.init(v, new Tree(), new Tree());
+        return r;
+    }
+}
+class Node extends Tree {
+    int value;
+    Tree left;
+    Tree right;
+    public Tree init(int v, Tree l, Tree r) {
+        value = v;
+        left = l;
+        right = r;
+        return this;
+    }
+    public boolean isLeaf() { return false; }
+    public Tree insert(int v) {
+        if (v < value) {
+            left = left.insert(v);
+        } else {
+            if (value < v) right = right.insert(v);
+        }
+        return this;
+    }
+    public int size() { return 1 + left.size() + right.size(); }
+    public int height() {
+        int lh;
+        int rh;
+        int h;
+        lh = left.height();
+        rh = right.height();
+        if (lh < rh) h = rh + 1; else h = lh + 1;
+        return h;
+    }
+    public int sum() { return value + left.sum() + right.sum(); }
+    public boolean contains(int v) {
+        boolean r;
+        if (v == value) {
+            r = true;
+        } else {
+            if (v < value) r = left.contains(v); else r = right.contains(v);
+        }
+        return r;
+    }
+}
+"""
+
+
+def _mj_tree_expected() -> List[int]:
+    class _Node:
+        def __init__(self, value: int):
+            self.value = value
+            self.left = None
+            self.right = None
+
+    def insert(node, v):
+        if node is None:
+            return _Node(v)
+        if v < node.value:
+            node.left = insert(node.left, v)
+        elif node.value < v:
+            node.right = insert(node.right, v)
+        return node
+
+    def size(node):
+        return 0 if node is None else 1 + size(node.left) + size(node.right)
+
+    def height(node):
+        return 0 if node is None else 1 + max(height(node.left), height(node.right))
+
+    def total(node):
+        return 0 if node is None else node.value + total(node.left) + total(node.right)
+
+    def contains(node, v):
+        if node is None:
+            return False
+        if v == node.value:
+            return True
+        return contains(node.left, v) if v < node.value else contains(node.right, v)
+
+    root = None
+    seed = 7
+    for _ in range(20):
+        root = insert(root, seed)
+        seed = (seed * 13 + 5) % 97
+    return [
+        size(root),
+        height(root),
+        total(root),
+        1 if contains(root, 7) else 0,
+        1 if contains(root, 50) else 0,
+    ]
+
+
+# ---------------------------------------------------------------------------
+# mj_shapes: dispatch-heavy -- three overriding shape classes behind one
+# interface, iterated through a polymorphic list thousands of slots deep
+# ---------------------------------------------------------------------------
+
+MJ_SHAPES = """
+class MJShapesMain {
+    public static void main(String[] a) {
+        ShapeList l;
+        Shape s;
+        int i;
+        int total;
+        int[] sizes;
+        sizes = new int[6];
+        i = 0;
+        while (i < 6) {
+            sizes[i] = i + 2;
+            i = i + 1;
+        }
+        l = new ShapeList();
+        s = new Shape();
+        i = 0;
+        while (i < 6) {
+            if (i % 3 == 0) {
+                s = new Square().setSize(sizes[i]);
+            } else {
+                if (i % 3 == 1) s = new Rect().setSize(sizes[i]);
+                else s = new Tri().setSize(sizes[i]);
+            }
+            l = l.push(s);
+            i = i + 1;
+        }
+        System.out.println(l.count());
+        System.out.println(l.totalArea());
+        System.out.println(l.totalPerimeter());
+        total = 0;
+        i = 0;
+        while (i < 50) {
+            total = total + l.areaAt(i % 6);
+            i = i + 1;
+        }
+        System.out.println(total);
+    }
+}
+class Shape {
+    int size;
+    public Shape setSize(int n) {
+        size = n;
+        return this;
+    }
+    public int area() { return 0; }
+    public int perimeter() { return 0; }
+}
+class Square extends Shape {
+    public int area() { return size * size; }
+    public int perimeter() { return 4 * size; }
+}
+class Rect extends Shape {
+    public int area() { return size * (size + 3); }
+    public int perimeter() { return 2 * (size + size + 3); }
+}
+class Tri extends Shape {
+    public int area() { return size * (size + 1) / 2; }
+    public int perimeter() { return 3 * size; }
+}
+class ShapeList {
+    public int count() { return 0; }
+    public int totalArea() { return 0; }
+    public int totalPerimeter() { return 0; }
+    public int areaAt(int i) { return 0; }
+    public ShapeList push(Shape s) {
+        ShapeCell c;
+        ShapeList r;
+        c = new ShapeCell();
+        r = c.init(s, this);
+        return r;
+    }
+}
+class ShapeCell extends ShapeList {
+    Shape shape;
+    ShapeList rest;
+    public ShapeList init(Shape s, ShapeList r) {
+        shape = s;
+        rest = r;
+        return this;
+    }
+    public int count() { return 1 + rest.count(); }
+    public int totalArea() { return shape.area() + rest.totalArea(); }
+    public int totalPerimeter() { return shape.perimeter() + rest.totalPerimeter(); }
+    public int areaAt(int i) {
+        int r;
+        if (i == 0) r = shape.area(); else r = rest.areaAt(i - 1);
+        return r;
+    }
+}
+"""
+
+
+def _mj_shapes_expected() -> List[int]:
+    def area(kind: int, n: int) -> int:
+        if kind == 0:
+            return n * n
+        if kind == 1:
+            return n * (n + 3)
+        return n * (n + 1) // 2
+
+    def perimeter(kind: int, n: int) -> int:
+        if kind == 0:
+            return 4 * n
+        if kind == 1:
+            return 2 * (n + n + 3)
+        return 3 * n
+
+    sizes = [i + 2 for i in range(6)]
+    shapes = [(i % 3, sizes[i]) for i in range(6)]
+    stack = list(reversed(shapes))  # push prepends
+    total = sum(area(k, n) for k, n in stack)
+    perim = sum(perimeter(k, n) for k, n in stack)
+    probe = sum(area(*stack[i % 6]) for i in range(50))
+    return [len(stack), total, perim, probe]
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+
+#: name -> MiniJava source
+MINIJAVA_CORPUS: Dict[str, str] = {
+    "mj_list": MJ_LIST,
+    "mj_tree": MJ_TREE,
+    "mj_shapes": MJ_SHAPES,
+}
+
+#: name -> expected integer outputs (pure-Python oracles)
+MINIJAVA_EXPECTED: Dict[str, List[int]] = {
+    "mj_list": _mj_list_expected(),
+    "mj_tree": _mj_tree_expected(),
+    "mj_shapes": _mj_shapes_expected(),
+}
+
+#: iteration order for batch tooling (farm, prof, baselines)
+MINIJAVA_PROGRAMS = tuple(MINIJAVA_CORPUS)
